@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure/table benchmark binaries.
+ *
+ * Each binary registers one google-benchmark per measurement point;
+ * simulation results are memoized process-wide so the benchmark
+ * framework's repetitions do not re-run multi-second simulations, and
+ * every binary finishes by printing the paper-style table with the
+ * paper's reported values alongside ours.
+ *
+ * Run lengths: 700k instructions with a 300k warm-up window. The paper
+ * ran 100M-instruction windows from checkpoints; our synthetic
+ * workloads are stationary, so a few hundred post-warm-up misses per
+ * benchmark give stable penalty estimates.
+ */
+
+#ifndef ZMT_BENCH_BENCH_UTIL_HH
+#define ZMT_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace zmtbench
+{
+
+using namespace zmt;
+
+constexpr uint64_t BenchInsts = 700'000;
+constexpr uint64_t BenchWarmup = 300'000;
+
+/** Default parameters for all experiments (Table 1 machine). */
+inline SimParams
+baseParams()
+{
+    SimParams params;
+    params.maxInsts = BenchInsts;
+    params.warmupInsts = BenchWarmup;
+    return params;
+}
+
+/** Memoized penalty measurement. */
+inline const PenaltyResult &
+runCached(const SimParams &params, const std::vector<std::string> &benches)
+{
+    static std::map<std::string, PenaltyResult> cache;
+    std::ostringstream key;
+    key << params.summary() << "#n" << params.maxInsts << "#w"
+        << params.warmupInsts << "#r" << params.except.windowReservation
+        << params.except.handlerFetchPriority
+        << params.except.relinkSecondaryMiss
+        << params.except.deadlockSquash << params.except.hwSpeculativeFill
+        << params.except.freeHandlerExecBw
+        << params.except.freeHandlerWindow
+        << params.except.freeHandlerFetchBw
+        << params.except.instantHandlerFetch << "#";
+    for (const auto &bench : benches)
+        key << bench << "+";
+    auto it = cache.find(key.str());
+    if (it == cache.end())
+        it = cache.emplace(key.str(), measurePenalty(params, benches)).first;
+    return it->second;
+}
+
+/**
+ * Register a google-benchmark point that runs (memoized) and exposes
+ * the headline counters.
+ */
+inline void
+registerPenaltyBench(const std::string &name, SimParams params,
+                     std::vector<std::string> benches)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [params, benches](benchmark::State &state) {
+            const PenaltyResult *result = nullptr;
+            for (auto _ : state)
+                result = &runCached(params, benches);
+            state.counters["penalty_per_miss"] = result->penaltyPerMiss();
+            state.counters["tlb_fraction"] = result->tlbFraction();
+            state.counters["ipc"] = result->mech.ipc;
+            state.counters["misses_per_kinst"] = result->missesPerKilo();
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+/** Pretty table writer used for the paper-vs-measured summaries. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title(std::move(title)) {}
+
+    Table &
+    header(const std::vector<std::string> &cols)
+    {
+        rows.push_back(cols);
+        return *this;
+    }
+
+    Table &
+    row(const std::vector<std::string> &cols)
+    {
+        rows.push_back(cols);
+        return *this;
+    }
+
+    void
+    print() const
+    {
+        std::printf("\n=== %s ===\n", title.c_str());
+        std::vector<size_t> widths;
+        for (const auto &row : rows) {
+            if (widths.size() < row.size())
+                widths.resize(row.size(), 0);
+            for (size_t i = 0; i < row.size(); ++i)
+                widths[i] = std::max(widths[i], row[i].size());
+        }
+        for (size_t r = 0; r < rows.size(); ++r) {
+            for (size_t i = 0; i < rows[r].size(); ++i)
+                std::printf("%-*s  ", int(widths[i]), rows[r][i].c_str());
+            std::printf("\n");
+            if (r == 0) {
+                size_t total = 0;
+                for (size_t w : widths)
+                    total += w + 2;
+                std::printf("%s\n", std::string(total, '-').c_str());
+            }
+        }
+    }
+
+  private:
+    std::string title;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmt(double value, int precision = 1)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+/** Standard main: run benchmarks, then the table callback. */
+inline int
+benchMain(int argc, char **argv, void (*summary)())
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (summary)
+        summary();
+    return 0;
+}
+
+} // namespace zmtbench
+
+#endif // ZMT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Building a custom workload with the public WorkloadParams API and
+ * measuring how its TLB behaviour responds to each mechanism — the
+ * path a user takes to model their own application's miss profile.
+ *
+ * The example sweeps the far-region size (the knob that moves the
+ * workload from TLB-friendly to TLB-hostile) and prints how the
+ * traditional-vs-multithreaded gap opens with the miss rate.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "wload/workload.hh"
+
+int
+main()
+{
+    using namespace zmt;
+
+    std::printf("Custom workload: pointer-mix loop, sweeping the far "
+                "region size.\n"
+                "(TLB reach is 64 entries x 8 KB = 512 KB = 64 pages)\n\n");
+    std::printf("%9s %10s %8s %12s %12s %10s\n", "farPages", "miss/kinst",
+                "baseIPC", "trad c/miss", "mt c/miss", "mt gain");
+
+    for (unsigned far_pages_log2 : {5u, 6u, 7u, 8u, 9u}) {
+        WorkloadParams wp;
+        wp.name = "custom";
+        wp.farPagesLog2 = far_pages_log2;
+        wp.farLoadsPerOuter = 1;
+        wp.innerIters = 20;
+        wp.aluChains = 6;
+        wp.aluOpsPerChain = 3;
+        wp.hotLoads = 2;
+        wp.hotStores = 1;
+        wp.seed = 0xfeedfaceULL;
+
+        SimParams params;
+        params.maxInsts = 400'000;
+        params.warmupInsts = 150'000;
+
+        auto run = [&](ExceptMech mech) {
+            params.except.mech = mech;
+            Simulator sim(params, std::vector<WorkloadParams>{wp});
+            return sim.run();
+        };
+
+        CoreResult perfect = run(ExceptMech::PerfectTlb);
+        CoreResult trad = run(ExceptMech::Traditional);
+        CoreResult mt = run(ExceptMech::Multithreaded);
+
+        auto penalty = [&](const CoreResult &r) {
+            return r.measuredMisses
+                       ? (double(r.measuredCycles) -
+                          double(perfect.measuredCycles)) /
+                             double(r.measuredMisses)
+                       : 0.0;
+        };
+        double miss_rate = trad.measuredInsts
+                               ? 1000.0 * double(trad.measuredMisses) /
+                                     double(trad.measuredInsts)
+                               : 0.0;
+
+        std::printf("%9u %10.3f %8.2f %12.1f %12.1f %9.1f%%\n",
+                    1u << far_pages_log2, miss_rate, perfect.ipc,
+                    penalty(trad), penalty(mt),
+                    penalty(trad) > 0
+                        ? 100.0 * (penalty(trad) - penalty(mt)) /
+                              penalty(trad)
+                        : 0.0);
+    }
+
+    std::printf("\nBelow 64 far pages everything fits the TLB and the "
+                "mechanisms are moot; past it,\nthe multithreaded "
+                "handler's savings (no squash, no double refill) grow "
+                "with the\nmiss rate — the paper's motivation in one "
+                "sweep.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multiprogrammed SMT experiment (paper Section 5.5): three
+ * application threads share the core with one idle thread available
+ * for exception handling. Shows per-thread progress, the exception
+ * thread's duty cycle, and the (smaller but real) multithreaded
+ * benefit in a loaded machine.
+ *
+ *   $ ./multiprogrammed_smt [benchA benchB benchC]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace zmt;
+
+    std::vector<std::string> mix;
+    if (argc == 4) {
+        mix = {argv[1], argv[2], argv[3]};
+    } else {
+        mix = {"alphadoom", "gcc", "vortex"}; // the paper's first mix
+    }
+
+    SimParams params;
+    params.maxInsts = 900'000;
+    params.warmupInsts = 400'000;
+
+    std::printf("SMT mix: %s + %s + %s, one idle context\n\n",
+                mix[0].c_str(), mix[1].c_str(), mix[2].c_str());
+
+    params.except.mech = ExceptMech::PerfectTlb;
+    CoreResult base = runSimulation(params, mix);
+
+    std::printf("%-18s %10s %8s %10s %14s %12s\n", "mechanism", "cycles",
+                "IPC", "misses", "penalty/miss", "handler-duty");
+    for (ExceptMech mech :
+         {ExceptMech::Traditional, ExceptMech::Multithreaded,
+          ExceptMech::QuickStart, ExceptMech::Hardware}) {
+        params.except.mech = mech;
+        params.except.idleThreads = 1;
+        Simulator sim(params, mix);
+        CoreResult result = sim.run();
+
+        double penalty =
+            result.measuredMisses
+                ? (double(result.measuredCycles) -
+                   double(base.measuredCycles)) /
+                      double(result.measuredMisses)
+                : 0.0;
+        const stats::StatBase *active =
+            sim.statsRoot().find("core.handlerActiveCycles");
+        double duty = 0.0;
+        if (auto *scalar = dynamic_cast<const stats::Scalar *>(active))
+            duty = scalar->value() / double(result.cycles);
+
+        std::printf("%-18s %10llu %8.2f %10llu %14.1f %11.0f%%\n",
+                    mechName(mech),
+                    (unsigned long long)result.measuredCycles, result.ipc,
+                    (unsigned long long)result.measuredMisses, penalty,
+                    100.0 * duty);
+
+        if (mech == ExceptMech::Multithreaded) {
+            std::printf("    per-thread retired:");
+            for (unsigned i = 0; i < 3; ++i)
+                std::printf(" %s=%llu", mix[i].c_str(),
+                            (unsigned long long)
+                                sim.core().retiredUserInsts(i));
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nPaper Section 5.5: with 3 applications the benefit "
+                "shrinks to a ~25%% penalty\nreduction (~30%% with "
+                "quick-start); the exception thread is active 5-40%% "
+                "of\nthe time, so one idle context suffices.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * General-purpose simulator driver: pick benchmarks and machine
+ * parameters on the command line, run, and dump every statistic.
+ *
+ *   $ ./zmt_sim [--stats] [--csv] [key=value ...] bench [bench ...]
+ *
+ * Examples:
+ *   ./zmt_sim compress
+ *   ./zmt_sim except.mech=multithreaded except.idleThreads=3 vortex
+ *   ./zmt_sim --stats core.width=4 maxInsts=200000 gcc
+ *   ./zmt_sim alphadoom gcc vortex          # a 3-app SMT mix
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace zmt;
+
+    SimParams params;
+    params.maxInsts = 300'000;
+    std::vector<std::string> benches;
+    bool dump_stats = false;
+    bool dump_csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--csv") {
+            dump_csv = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace::setTraceFlags(arg.substr(8));
+        } else if (arg.find('=') != std::string::npos) {
+            params.setKeyValue(arg);
+        } else {
+            benches.push_back(arg);
+        }
+    }
+    if (benches.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--stats] [--csv] [--trace=exc,...] "
+                     "[key=value ...] bench...\n"
+                     "benchmarks: alphadoom applu compress deltablue gcc "
+                     "hydro2d murphi vortex\n",
+                     argv[0]);
+        return 1;
+    }
+
+    Simulator sim(params, benches);
+    CoreResult result = sim.run();
+
+    std::printf("# %s on", params.summary().c_str());
+    for (const auto &bench : benches)
+        std::printf(" %s", bench.c_str());
+    std::printf("\n");
+    std::printf("cycles       %llu\n", (unsigned long long)result.cycles);
+    std::printf("userInsts    %llu\n",
+                (unsigned long long)result.userInsts);
+    std::printf("ipc          %.3f\n", result.ipc);
+    std::printf("tlbMisses    %llu\n",
+                (unsigned long long)result.tlbMisses);
+    std::printf("measCycles   %llu\n",
+                (unsigned long long)result.measuredCycles);
+    std::printf("measMisses   %llu\n",
+                (unsigned long long)result.measuredMisses);
+    std::printf("miss/kinst   %.3f\n",
+                result.measuredInsts
+                    ? 1000.0 * double(result.measuredMisses) /
+                          double(result.measuredInsts)
+                    : 0.0);
+
+    if (dump_stats)
+        sim.dumpStats(std::cout);
+    if (dump_csv)
+        sim.statsRoot().dumpCsv(std::cout);
+    return 0;
+}

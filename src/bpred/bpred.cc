@@ -1,0 +1,282 @@
+#include "bpred/bpred.hh"
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+uint8_t
+bump(uint8_t counter, bool up)
+{
+    if (up)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+bool taken2(uint8_t counter) { return counter >= 2; }
+
+} // anonymous namespace
+
+BranchPredictor::BranchPredictor(const BpredParams &params,
+                                 unsigned num_threads,
+                                 stats::StatGroup *parent)
+    : stats::StatGroup("bpred", parent),
+      lookups(this, "lookups", "branch predictions made"),
+      condMispredicts(this, "condMispredicts",
+                      "conditional direction mispredictions"),
+      indirectMispredicts(this, "indirectMispredicts",
+                          "indirect target mispredictions"),
+      rasMispredicts(this, "rasMispredicts", "return mispredictions"),
+      params(params),
+      choicePht(size_t(1) << params.yagsChoiceBits, 2),
+      takenExc(size_t(1) << params.yagsExcBits),
+      ntakenExc(size_t(1) << params.yagsExcBits),
+      indirectStage1(size_t(1) << params.indirectBtbBits, 0),
+      indirectStage2(size_t(1) << params.indirectExcBits),
+      threads(num_threads)
+{
+    for (auto &thread : threads)
+        thread.ras.assign(params.rasEntries, 0);
+}
+
+unsigned
+BranchPredictor::choiceIndex(Addr pc) const
+{
+    return unsigned((pc >> 2) & ((1u << params.yagsChoiceBits) - 1));
+}
+
+unsigned
+BranchPredictor::excIndex(Addr pc, uint32_t history) const
+{
+    return unsigned(((pc >> 2) ^ history) &
+                    ((1u << params.yagsExcBits) - 1));
+}
+
+uint8_t
+BranchPredictor::excTag(Addr pc) const
+{
+    return uint8_t((pc >> 2) & ((1u << params.yagsTagBits) - 1));
+}
+
+bool
+BranchPredictor::predictDirection(ThreadID tid, Addr pc, uint32_t history)
+{
+    bool choice = taken2(choicePht[choiceIndex(pc)]);
+    const auto &exc = choice ? ntakenExc : takenExc;
+    const ExcEntry &entry = exc[excIndex(pc, history)];
+    if (entry.valid && entry.tag == excTag(pc))
+        return taken2(entry.counter);
+    return choice;
+}
+
+void
+BranchPredictor::updateDirection(Addr pc, uint32_t history, bool taken)
+{
+    uint8_t &choice_ctr = choicePht[choiceIndex(pc)];
+    bool choice = taken2(choice_ctr);
+    auto &exc = choice ? ntakenExc : takenExc;
+    ExcEntry &entry = exc[excIndex(pc, history)];
+    bool exc_hit = entry.valid && entry.tag == excTag(pc);
+
+    // YAGS update rules: the exception cache is trained when it hit, or
+    // allocated when the choice prediction was wrong. The choice PHT is
+    // trained except when the exception cache correctly disagreed with
+    // it (preserving the bias).
+    if (exc_hit) {
+        entry.counter = bump(entry.counter, taken);
+        // Don't weaken the choice bias when the exception cache covered
+        // a disagreeing outcome.
+        if (taken == choice)
+            choice_ctr = bump(choice_ctr, taken);
+    } else if (taken != choice) {
+        entry.valid = true;
+        entry.tag = excTag(pc);
+        entry.counter = taken ? 2 : 1;
+        choice_ctr = bump(choice_ctr, taken);
+    } else {
+        choice_ctr = bump(choice_ctr, taken);
+    }
+}
+
+Addr
+BranchPredictor::predictIndirect(ThreadID tid, Addr pc, uint32_t history)
+{
+    unsigned idx2 = unsigned(((pc >> 2) ^ (history << 1)) &
+                             ((1u << params.indirectExcBits) - 1));
+    const IndirectEntry &e2 = indirectStage2[idx2];
+    uint16_t tag = uint16_t((pc >> 2) & 0xff);
+    if (e2.valid && e2.tag == tag)
+        return e2.target;
+    unsigned idx1 =
+        unsigned((pc >> 2) & ((1u << params.indirectBtbBits) - 1));
+    return indirectStage1[idx1];
+}
+
+void
+BranchPredictor::updateIndirect(Addr pc, uint32_t history, Addr target)
+{
+    unsigned idx1 =
+        unsigned((pc >> 2) & ((1u << params.indirectBtbBits) - 1));
+    unsigned idx2 = unsigned(((pc >> 2) ^ (history << 1)) &
+                             ((1u << params.indirectExcBits) - 1));
+    IndirectEntry &e2 = indirectStage2[idx2];
+    uint16_t tag = uint16_t((pc >> 2) & 0xff);
+    bool stage1_correct = indirectStage1[idx1] == target;
+    bool e2_hit = e2.valid && e2.tag == tag;
+    // Cascaded ("leaky filter"): allocate into the history-indexed
+    // stage only when the first stage was wrong — but always retrain an
+    // entry that supplied a (possibly wrong) prediction, or stale
+    // targets would override a correct first stage forever.
+    if (e2_hit || !stage1_correct) {
+        e2.valid = true;
+        e2.tag = tag;
+        e2.target = target;
+    }
+    indirectStage1[idx1] = target;
+}
+
+void
+BranchPredictor::rasPush(ThreadID tid, Addr ret_addr)
+{
+    ThreadState &ts = threads[tid];
+    ts.ras[ts.rasTos] = ret_addr;
+    ts.rasTos = uint16_t((ts.rasTos + 1) % params.rasEntries);
+}
+
+Addr
+BranchPredictor::rasPop(ThreadID tid)
+{
+    ThreadState &ts = threads[tid];
+    ts.rasTos = uint16_t((ts.rasTos + params.rasEntries - 1) %
+                         params.rasEntries);
+    return ts.ras[ts.rasTos];
+}
+
+BpredResult
+BranchPredictor::predict(ThreadID tid, Addr pc,
+                         const isa::DecodedInst &inst)
+{
+    ThreadState &ts = threads[tid];
+    ++lookups;
+
+    BpredResult result;
+    result.checkpoint.history = ts.history;
+    result.checkpoint.rasTos = ts.rasTos;
+    result.checkpoint.rasTop = ts.ras[ts.rasTos];
+
+    const auto &info = *inst.info;
+    const Addr fallthrough = pc + 4;
+    const Addr direct_target = fallthrough + int64_t(inst.imm) * 4;
+
+    if (inst.op == isa::Opcode::Rfe) {
+        // Exception returns are unpredicted (paper Section 3): the
+        // front end stops at an RFE until it executes.
+        result.taken = false;
+        return result;
+    }
+
+    if (info.isReturn) {
+        result.taken = true;
+        result.target = rasPop(tid);
+        return result;
+    }
+
+    if (info.isCall)
+        rasPush(tid, fallthrough);
+
+    if (info.isIndirect) {
+        result.taken = true;
+        result.target = predictIndirect(tid, pc, ts.history);
+        return result;
+    }
+
+    if (!info.isConditional) {
+        // Direct unconditional: perfect target (computable at fetch).
+        result.taken = true;
+        result.target = direct_target;
+        return result;
+    }
+
+    result.taken = predictDirection(tid, pc, ts.history);
+    result.target = direct_target;
+    // Speculative history update; repaired on squash.
+    ts.history = (ts.history << 1 | (result.taken ? 1 : 0)) &
+                 ((1u << params.historyBits) - 1);
+    return result;
+}
+
+void
+BranchPredictor::update(ThreadID tid, Addr pc, const isa::DecodedInst &inst,
+                        bool taken, Addr target,
+                        const BpredCheckpoint &checkpoint)
+{
+    const auto &info = *inst.info;
+    if (inst.op == isa::Opcode::Rfe)
+        return;
+    if (info.isConditional)
+        updateDirection(pc, checkpoint.history, taken);
+    if (info.isIndirect && !info.isReturn)
+        updateIndirect(pc, checkpoint.history, target);
+}
+
+void
+BranchPredictor::squashRestore(ThreadID tid, Addr pc,
+                               const isa::DecodedInst &inst,
+                               bool actual_taken,
+                               const BpredCheckpoint &checkpoint)
+{
+    ThreadState &ts = threads[tid];
+    const auto &info = *inst.info;
+
+    // Restore the RAS to its state before the branch, then replay the
+    // branch's own effect.
+    ts.rasTos = checkpoint.rasTos;
+    ts.ras[ts.rasTos] = checkpoint.rasTop;
+    if (info.isReturn)
+        rasPop(tid);
+    else if (info.isCall)
+        rasPush(tid, pc + 4);
+
+    // Rebuild history: bits up to the branch, plus the actual outcome.
+    if (info.isConditional) {
+        ts.history = (checkpoint.history << 1 | (actual_taken ? 1 : 0)) &
+                     ((1u << params.historyBits) - 1);
+    } else {
+        ts.history = checkpoint.history;
+    }
+}
+
+BpredCheckpoint
+BranchPredictor::snapshot(ThreadID tid) const
+{
+    const ThreadState &ts = threads[tid];
+    BpredCheckpoint chk;
+    chk.history = ts.history;
+    chk.rasTos = ts.rasTos;
+    chk.rasTop = ts.ras[ts.rasTos];
+    return chk;
+}
+
+void
+BranchPredictor::restore(ThreadID tid, const BpredCheckpoint &checkpoint)
+{
+    ThreadState &ts = threads[tid];
+    ts.history = checkpoint.history;
+    ts.rasTos = checkpoint.rasTos;
+    ts.ras[ts.rasTos] = checkpoint.rasTop;
+}
+
+void
+BranchPredictor::resetThread(ThreadID tid)
+{
+    ThreadState &ts = threads[tid];
+    ts.history = 0;
+    ts.rasTos = 0;
+    std::fill(ts.ras.begin(), ts.ras.end(), 0);
+}
+
+} // namespace zmt

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Branch prediction, per the paper's Table 1:
+ *
+ *  - YAGS direction predictor (Eden & Mudge, MICRO-31): 2^14-entry
+ *    choice PHT plus taken/not-taken exception caches of 2^12 entries
+ *    with 6-bit tags.
+ *  - Perfect branch *target* prediction for direct branches (the
+ *    target is computable at fetch in our front end).
+ *  - Cascaded indirect predictor (Driesen & Holzle): 2^8-entry
+ *    first-stage table, 2^10-entry tagged second stage.
+ *  - 64-entry checkpointing return address stack.
+ *
+ * Tables are shared by all SMT threads; global history is per-thread.
+ * Prediction returns a checkpoint that the core stores with the branch
+ * and hands back for update (at resolution) or restore (on squash).
+ */
+
+#ifndef ZMT_BPRED_BPRED_HH
+#define ZMT_BPRED_BPRED_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "config/params.hh"
+#include "isa/inst.hh"
+#include "stats/stats.hh"
+
+namespace zmt
+{
+
+/** Snapshot of speculative predictor state taken at prediction time. */
+struct BpredCheckpoint
+{
+    uint32_t history = 0;   //!< global history *before* this branch
+    uint16_t rasTos = 0;    //!< RAS top-of-stack index
+    Addr rasTop = 0;        //!< value at the TOS slot (for corruption fix)
+};
+
+/** Outcome of a prediction. */
+struct BpredResult
+{
+    bool taken = false;
+    Addr target = 0;        //!< valid when taken
+    BpredCheckpoint checkpoint;
+};
+
+/** Shared branch prediction unit. */
+class BranchPredictor : public stats::StatGroup
+{
+  public:
+    BranchPredictor(const BpredParams &params, unsigned num_threads,
+                    stats::StatGroup *parent);
+
+    /**
+     * Predict a branch at fetch. Updates speculative per-thread state
+     * (global history, RAS) and returns the checkpoint to attach to the
+     * instruction.
+     */
+    BpredResult predict(ThreadID tid, Addr pc, const isa::DecodedInst &inst);
+
+    /**
+     * Train at resolution with the actual outcome. Uses the history
+     * from the checkpoint (the state the prediction saw).
+     */
+    void update(ThreadID tid, Addr pc, const isa::DecodedInst &inst,
+                bool taken, Addr target, const BpredCheckpoint &checkpoint);
+
+    /**
+     * Squash recovery: restore per-thread speculative state to just
+     * *after* the mispredicted branch (history updated with the actual
+     * outcome; RAS repaired).
+     */
+    void squashRestore(ThreadID tid, Addr pc, const isa::DecodedInst &inst,
+                       bool actual_taken, const BpredCheckpoint &checkpoint);
+
+    /** Snapshot a thread's speculative state without predicting. */
+    BpredCheckpoint snapshot(ThreadID tid) const;
+
+    /**
+     * Plain restore (no branch replay): used when a non-branch squash
+     * (a traditional trap) rewinds to an arbitrary instruction.
+     */
+    void restore(ThreadID tid, const BpredCheckpoint &checkpoint);
+
+    /** Reset a thread's speculative state (thread start/reuse). */
+    void resetThread(ThreadID tid);
+
+    // Statistics, exposed for the experiment harness.
+    stats::Scalar lookups;
+    stats::Scalar condMispredicts;
+    stats::Scalar indirectMispredicts;
+    stats::Scalar rasMispredicts;
+
+  private:
+    struct ExcEntry
+    {
+        uint8_t tag = 0;
+        uint8_t counter = 0; //!< 2-bit
+        bool valid = false;
+    };
+
+    bool predictDirection(ThreadID tid, Addr pc, uint32_t history);
+    void updateDirection(Addr pc, uint32_t history, bool taken);
+    Addr predictIndirect(ThreadID tid, Addr pc, uint32_t history);
+    void updateIndirect(Addr pc, uint32_t history, Addr target);
+
+    unsigned choiceIndex(Addr pc) const;
+    unsigned excIndex(Addr pc, uint32_t history) const;
+    uint8_t excTag(Addr pc) const;
+
+    void rasPush(ThreadID tid, Addr ret_addr);
+    Addr rasPop(ThreadID tid);
+
+    BpredParams params;
+
+    std::vector<uint8_t> choicePht;  //!< 2-bit counters
+    std::vector<ExcEntry> takenExc;  //!< exceptions to "taken" choice
+    std::vector<ExcEntry> ntakenExc; //!< exceptions to "not-taken" choice
+
+    std::vector<Addr> indirectStage1;
+    struct IndirectEntry
+    {
+        uint16_t tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<IndirectEntry> indirectStage2;
+
+    struct ThreadState
+    {
+        uint32_t history = 0;
+        std::vector<Addr> ras;
+        uint16_t rasTos = 0; //!< next push slot
+    };
+    std::vector<ThreadState> threads;
+};
+
+} // namespace zmt
+
+#endif // ZMT_BPRED_BPRED_HH

@@ -1,0 +1,77 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace zmt
+{
+
+namespace
+{
+
+std::atomic<bool> verboseFlag{false};
+std::atomic<uint64_t> warnings{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:  return "panic";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Debug:  return "debug";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag.store(verbose);
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag.load();
+}
+
+uint64_t
+warnCount()
+{
+    return warnings.load();
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    if (level == LogLevel::Warn)
+        warnings.fetch_add(1);
+
+    bool terminal = level == LogLevel::Panic || level == LogLevel::Fatal;
+    if (!terminal && !verboseFlag.load() && level != LogLevel::Warn)
+        return;
+
+    std::va_list args;
+    va_start(args, fmt);
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+
+    if (terminal) {
+        std::fprintf(stderr, "%s: %s [%s:%d]\n",
+                     levelName(level), buf, file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), buf);
+    }
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+} // namespace zmt

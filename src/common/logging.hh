@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — something happened that should never happen regardless of
+ *            what the user does (a simulator bug). Aborts.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments). Exits with status 1.
+ * warn()   — something is modeled approximately or suspiciously.
+ * inform() — normal operating status for the user.
+ *
+ * All take printf-style format strings.
+ */
+
+#ifndef ZMT_COMMON_LOGGING_HH
+#define ZMT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace zmt
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Panic, Fatal, Warn, Inform, Debug };
+
+/**
+ * Format and emit a log message. Messages at Panic/Fatal severity
+ * terminate the process (abort / exit(1) respectively).
+ *
+ * @param level severity of the message
+ * @param file  source file of the call site
+ * @param line  source line of the call site
+ * @param fmt   printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+/**
+ * Global verbosity control: messages below this level are suppressed
+ * (Panic and Fatal are never suppressed).
+ */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** Count of warnings emitted so far (used by tests). */
+uint64_t warnCount();
+
+} // namespace zmt
+
+#define panic(...) \
+    ::zmt::logMessage(::zmt::LogLevel::Panic, __FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::zmt::logMessage(::zmt::LogLevel::Fatal, __FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) \
+    ::zmt::logMessage(::zmt::LogLevel::Warn, __FILE__, __LINE__, __VA_ARGS__)
+#define inform(...) \
+    ::zmt::logMessage(::zmt::LogLevel::Inform, __FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() if the given condition does not hold. */
+#define panic_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            panic(__VA_ARGS__);                                          \
+    } while (0)
+
+/** fatal() if the given condition does not hold. */
+#define fatal_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            fatal(__VA_ARGS__);                                          \
+    } while (0)
+
+#endif // ZMT_COMMON_LOGGING_HH

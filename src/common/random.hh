@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small deterministic pseudo-random number generator.
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so
+ * we avoid std::mt19937 ordering subtleties and use an explicit
+ * xorshift64* generator. Used by workload generation only — the timing
+ * model itself is fully deterministic.
+ */
+
+#ifndef ZMT_COMMON_RANDOM_HH
+#define ZMT_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+/** Deterministic xorshift64* PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. @pre lo <= hi. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range: lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return (next() >> 11) * (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Re-seed the generator. */
+    void
+    seed(uint64_t s)
+    {
+        state = s ? s : 1;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace zmt
+
+#endif // ZMT_COMMON_RANDOM_HH

@@ -1,0 +1,92 @@
+#include "common/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace zmt::trace
+{
+
+uint32_t activeFlags = None;
+
+namespace
+{
+
+struct FlagName
+{
+    const char *name;
+    Flag flag;
+};
+
+const FlagName flagTable[] = {
+    {"fetch", Fetch},     {"dispatch", Dispatch}, {"issue", Issue},
+    {"complete", Complete}, {"retire", Retire},   {"exc", Exc},
+    {"squash", Squash},   {"mem", Mem},           {"all", All},
+};
+
+} // anonymous namespace
+
+uint32_t
+parseFlags(const std::string &csv)
+{
+    uint32_t flags = None;
+    std::istringstream stream(csv);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        if (token.empty())
+            continue;
+        bool found = false;
+        for (const auto &entry : flagTable) {
+            if (token == entry.name) {
+                flags |= entry.flag;
+                found = true;
+                break;
+            }
+        }
+        fatal_if(!found, "unknown trace flag '%s'", token.c_str());
+    }
+    return flags;
+}
+
+void
+setTraceFlags(uint32_t flags)
+{
+    activeFlags = flags;
+}
+
+void
+setTraceFlags(const std::string &csv)
+{
+    activeFlags = parseFlags(csv);
+}
+
+uint32_t
+traceFlags()
+{
+    return activeFlags;
+}
+
+const char *
+flagName(Flag flag)
+{
+    for (const auto &entry : flagTable)
+        if (entry.flag == flag)
+            return entry.name;
+    return "?";
+}
+
+void
+print(Cycle cycle, Flag flag, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%10llu: %-8s: %s\n",
+                 (unsigned long long)cycle, flagName(flag), buf);
+}
+
+} // namespace zmt::trace

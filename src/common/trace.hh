@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight debug tracing in the spirit of gem5's DPRINTF/debug
+ * flags. Tracing is off by default and costs one branch per call
+ * site; enable categories at runtime with setTraceFlags("exc,retire")
+ * (or "all"), e.g. via zmt_sim --trace=exc.
+ */
+
+#ifndef ZMT_COMMON_TRACE_HH
+#define ZMT_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace zmt::trace
+{
+
+/** Trace categories, one bit each. */
+enum Flag : uint32_t
+{
+    None = 0,
+    Fetch = 1u << 0,    //!< fetch redirects, stalls, handler prefill
+    Dispatch = 1u << 1, //!< window insertion, reservation, deadlock
+    Issue = 1u << 2,    //!< instruction issue
+    Complete = 1u << 3, //!< completion, branch resolution
+    Retire = 1u << 4,   //!< retirement, splice open/close
+    Exc = 1u << 5,      //!< exception lifecycle: detect/spawn/trap/fill
+    Squash = 1u << 6,   //!< squashes of any cause
+    Mem = 1u << 7,      //!< cache/TLB events
+    All = 0xffffffffu,
+};
+
+/** Parse a comma-separated flag list ("exc,retire", "all"). Fatal on
+ *  unknown names. */
+uint32_t parseFlags(const std::string &csv);
+
+/** Replace the active flag set. */
+void setTraceFlags(uint32_t flags);
+void setTraceFlags(const std::string &csv);
+
+/** Currently active flags. */
+uint32_t traceFlags();
+
+/** Is a category enabled? */
+inline bool
+enabled(Flag flag)
+{
+    extern uint32_t activeFlags;
+    return (activeFlags & flag) != 0;
+}
+
+/** Emit one trace line: "<cycle>: <tag>: <message>". */
+[[gnu::format(printf, 3, 4)]]
+void print(Cycle cycle, Flag flag, const char *fmt, ...);
+
+/** Name of a single flag bit (for output tags). */
+const char *flagName(Flag flag);
+
+} // namespace zmt::trace
+
+/**
+ * Call-site macro: evaluates arguments only when the category is on.
+ */
+#define ZTRACE(cycle, flag, ...)                                          \
+    do {                                                                  \
+        if (::zmt::trace::enabled(::zmt::trace::flag))                    \
+            ::zmt::trace::print(cycle, ::zmt::trace::flag, __VA_ARGS__);  \
+    } while (0)
+
+#endif // ZMT_COMMON_TRACE_HH

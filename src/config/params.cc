@@ -1,0 +1,225 @@
+#include "config/params.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+const char *
+mechName(ExceptMech mech)
+{
+    switch (mech) {
+      case ExceptMech::PerfectTlb:    return "perfect";
+      case ExceptMech::Traditional:   return "traditional";
+      case ExceptMech::Multithreaded: return "multithreaded";
+      case ExceptMech::QuickStart:    return "quickstart";
+      case ExceptMech::Hardware:      return "hardware";
+    }
+    return "?";
+}
+
+ExceptMech
+parseMech(const std::string &name)
+{
+    if (name == "perfect" || name == "perfecttlb")
+        return ExceptMech::PerfectTlb;
+    if (name == "traditional" || name == "trap")
+        return ExceptMech::Traditional;
+    if (name == "multithreaded" || name == "mt")
+        return ExceptMech::Multithreaded;
+    if (name == "quickstart" || name == "qs")
+        return ExceptMech::QuickStart;
+    if (name == "hardware" || name == "hw")
+        return ExceptMech::Hardware;
+    fatal("unknown exception mechanism '%s'", name.c_str());
+    return ExceptMech::Traditional;
+}
+
+void
+CoreParams::setFrontendDepth(unsigned stages)
+{
+    // stages = fetch + decode + schedule + regread.
+    fatal_if(stages < 3, "frontend depth must be at least 3 stages");
+    if (stages == 3) {
+        // Minimum machine: 1-cycle fetch, merged decode/schedule,
+        // 1-cycle register read.
+        fetchDepth = 1;
+        decodeDepth = 1;
+        schedDepth = 0;
+        regReadDepth = 1;
+        return;
+    }
+    decodeDepth = 1;
+    schedDepth = 1;
+    // Split the remaining stages between fetch and register read with
+    // the paper's nominal 3:2 proportion (7 stages -> 3 fetch, 2 read).
+    unsigned remaining = stages - 2; // minus decode and schedule
+    regReadDepth = remaining * 2 / 5;
+    if (regReadDepth == 0)
+        regReadDepth = 1;
+    fetchDepth = remaining - regReadDepth;
+    if (fetchDepth == 0) {
+        fetchDepth = 1;
+        regReadDepth = remaining - 1;
+    }
+}
+
+void
+CoreParams::setWidth(unsigned w)
+{
+    fatal_if(w == 0, "zero width");
+    width = w;
+    // Figure 3 pairs width with window size: 2/32, 4/64, 8/128. Scale
+    // the FU pool in proportion to the 8-wide Table 1 machine.
+    windowSize = w * 16;
+    intAluCount = w;
+    intMulCount = (w * 3 + 7) / 8;
+    fpAddCount = (w * 3 + 7) / 8;
+    fpDivCount = 1;
+    lsPortCount = (w * 3 + 7) / 8;
+}
+
+namespace
+{
+
+uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        uint64_t v = std::stoull(value, &pos, 0);
+        fatal_if(pos != value.size(), "trailing junk in value for %s: '%s'",
+                 key.c_str(), value.c_str());
+        return v;
+    } catch (const std::exception &) {
+        fatal("bad numeric value for %s: '%s'", key.c_str(), value.c_str());
+        return 0;
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "off" || value == "no")
+        return false;
+    fatal("bad boolean value for %s: '%s'", key.c_str(), value.c_str());
+    return false;
+}
+
+} // anonymous namespace
+
+void
+SimParams::set(const std::string &key, const std::string &value)
+{
+    auto u = [&] { return parseU64(key, value); };
+    auto b = [&] { return parseBool(key, value); };
+
+    if (key == "core.width") { core.setWidth(unsigned(u())); return; }
+    if (key == "core.windowSize") { core.windowSize = unsigned(u()); return; }
+    if (key == "core.frontendDepth") {
+        core.setFrontendDepth(unsigned(u()));
+        return;
+    }
+    if (key == "core.fetchDepth") { core.fetchDepth = unsigned(u()); return; }
+    if (key == "core.regReadDepth") {
+        core.regReadDepth = unsigned(u());
+        return;
+    }
+    if (key == "core.fetchBufEntries") {
+        core.fetchBufEntries = unsigned(u());
+        return;
+    }
+    if (key == "core.lsPortCount") { core.lsPortCount = unsigned(u()); return; }
+
+    if (key == "mem.l1dSizeKb") { mem.l1dSizeKb = unsigned(u()); return; }
+    if (key == "mem.l2SizeKb") { mem.l2SizeKb = unsigned(u()); return; }
+    if (key == "mem.memLatency") { mem.memLatency = unsigned(u()); return; }
+    if (key == "mem.maxOutstandingMisses") {
+        mem.maxOutstandingMisses = unsigned(u());
+        return;
+    }
+
+    if (key == "tlb.dtlbEntries") { tlb.dtlbEntries = unsigned(u()); return; }
+
+    if (key == "except.mech") { except.mech = parseMech(value); return; }
+    if (key == "except.idleThreads") {
+        except.idleThreads = unsigned(u());
+        return;
+    }
+    if (key == "except.windowReservation") {
+        except.windowReservation = b();
+        return;
+    }
+    if (key == "except.handlerFetchPriority") {
+        except.handlerFetchPriority = b();
+        return;
+    }
+    if (key == "except.relinkSecondaryMiss") {
+        except.relinkSecondaryMiss = b();
+        return;
+    }
+    if (key == "except.deadlockSquash") { except.deadlockSquash = b(); return; }
+    if (key == "except.hwSpeculativeFill") {
+        except.hwSpeculativeFill = b();
+        return;
+    }
+    if (key == "except.emulateFsqrt") {
+        except.emulateFsqrt = b();
+        return;
+    }
+    if (key == "except.quickStartWarmup") {
+        except.quickStartWarmup = unsigned(u());
+        return;
+    }
+    if (key == "except.freeHandlerExecBw") {
+        except.freeHandlerExecBw = b();
+        return;
+    }
+    if (key == "except.freeHandlerWindow") {
+        except.freeHandlerWindow = b();
+        return;
+    }
+    if (key == "except.freeHandlerFetchBw") {
+        except.freeHandlerFetchBw = b();
+        return;
+    }
+    if (key == "except.instantHandlerFetch") {
+        except.instantHandlerFetch = b();
+        return;
+    }
+
+    if (key == "maxInsts") { maxInsts = u(); return; }
+    if (key == "warmupInsts") { warmupInsts = u(); return; }
+    if (key == "seed") { seed = u(); return; }
+
+    fatal("unknown parameter '%s'", key.c_str());
+}
+
+void
+SimParams::setKeyValue(const std::string &assignment)
+{
+    auto eq = assignment.find('=');
+    fatal_if(eq == std::string::npos, "expected key=value, got '%s'",
+             assignment.c_str());
+    set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+std::string
+SimParams::summary() const
+{
+    std::ostringstream os;
+    os << mechName(except.mech)
+       << " width=" << core.width
+       << " window=" << core.windowSize
+       << " frontend=" << core.frontendDepth()
+       << " dtlb=" << tlb.dtlbEntries;
+    if (except.usesHandlerThread())
+        os << " idle=" << except.idleThreads;
+    return os.str();
+}
+
+} // namespace zmt

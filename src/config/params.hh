@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Simulation parameters. Defaults reproduce the paper's base machine
+ * (Table 1); helpers apply the Figure 2 / Figure 3 sweeps; the
+ * ExceptParams toggles select the exception architecture and the
+ * Table 3 limit studies.
+ */
+
+#ifndef ZMT_CONFIG_PARAMS_HH
+#define ZMT_CONFIG_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace zmt
+{
+
+/** Which TLB-miss architecture to simulate (paper Section 5.1). */
+enum class ExceptMech
+{
+    PerfectTlb,    //!< no TLB misses: baseline for the penalty metric
+    Traditional,   //!< squash + trap + refetch
+    Multithreaded, //!< idle-thread handler execution (the contribution)
+    QuickStart,    //!< multithreaded + handler prefetched to fetch buffer
+    Hardware,      //!< finite-state-machine page walker
+};
+
+const char *mechName(ExceptMech mech);
+
+/** Core pipeline and resource parameters. */
+struct CoreParams
+{
+    unsigned width = 8;          //!< fetch = decode = issue bandwidth
+    unsigned windowSize = 128;   //!< centralized instruction window
+    unsigned fetchDepth = 3;     //!< cycles for fetch
+    unsigned decodeDepth = 1;    //!< cycles for decode
+    unsigned schedDepth = 1;     //!< cycles for schedule
+    unsigned regReadDepth = 2;   //!< cycles for register read
+
+    unsigned fetchBufEntries = 16; //!< per-thread fetch buffer slots
+
+    // Functional-unit pool (8-wide configuration of Table 1).
+    unsigned intAluCount = 8;
+    unsigned intMulCount = 3;    //!< shared mult/div pool
+    unsigned fpAddCount = 3;     //!< shared FP add/mult pool
+    unsigned fpDivCount = 1;     //!< shared FP div/sqrt pool
+    unsigned lsPortCount = 3;    //!< load/store ports
+
+    /**
+     * Stages between fetch and execute (the minimum branch mispredict
+     * penalty). Table 1: 3 fetch + 1 decode + 1 schedule + 2 register
+     * read = nominal 7.
+     */
+    unsigned
+    frontendDepth() const
+    {
+        return fetchDepth + decodeDepth + schedDepth + regReadDepth;
+    }
+
+    /**
+     * Apply the Figure 2 sweep: pipeline length 3/7/11 stages between
+     * fetch and execute. Decode and schedule stay 1 cycle; fetch and
+     * register read absorb the difference, as in deeper real pipes.
+     */
+    void setFrontendDepth(unsigned stages);
+
+    /** Apply the Figure 3 sweep: width 2/4/8 with window 32/64/128. */
+    void setWidth(unsigned w);
+};
+
+/** Memory hierarchy parameters (Table 1). */
+struct MemParams
+{
+    // L1 instruction cache: 64 KB, 2-way, 32 B lines.
+    unsigned l1iSizeKb = 64;
+    unsigned l1iAssoc = 2;
+    unsigned l1iLineBytes = 32;
+
+    // L1 data cache: 64 KB, 2-way, 32 B lines.
+    unsigned l1dSizeKb = 64;
+    unsigned l1dAssoc = 2;
+    unsigned l1dLineBytes = 32;
+
+    // Unified L2: 1 MB, 4-way, 64 B lines, 6-cycle, fully pipelined.
+    unsigned l2SizeKb = 1024;
+    unsigned l2Assoc = 4;
+    unsigned l2LineBytes = 64;
+    unsigned l2Latency = 6;
+
+    unsigned maxOutstandingMisses = 64; //!< primary + secondary MSHRs
+    unsigned l1l2BusCyclesPerBlock = 2; //!< 16 B bus, 32 B block
+    unsigned l2MemBusCycles = 11;       //!< occupancy per transfer
+    unsigned memLatency = 80;
+};
+
+/** TLB parameters (Table 1: perfect ITLB, 64-entry DTLB). */
+struct TlbParams
+{
+    unsigned dtlbEntries = 64;
+};
+
+/** Branch predictor parameters (Table 1). */
+struct BpredParams
+{
+    unsigned yagsChoiceBits = 14;  //!< 2^14-entry choice PHT
+    unsigned yagsExcBits = 12;     //!< 2^12-entry exception caches
+    unsigned yagsTagBits = 6;
+    unsigned indirectBtbBits = 8;  //!< 2^8-entry first stage
+    unsigned indirectExcBits = 10; //!< 2^10-entry history stage
+    unsigned rasEntries = 64;
+    unsigned historyBits = 16;
+};
+
+/** Exception-architecture parameters. */
+struct ExceptParams
+{
+    ExceptMech mech = ExceptMech::Traditional;
+
+    /** Idle thread contexts available for handlers (1 or 3 in paper). */
+    unsigned idleThreads = 1;
+
+    // --- Multithreaded-mechanism design options (Section 4.4/4.5) ---
+    bool windowReservation = true;   //!< reserve slots for the handler
+    bool handlerFetchPriority = true;//!< handler beats ICOUNT
+    bool relinkSecondaryMiss = true; //!< re-link handler to older miss
+    bool deadlockSquash = true;      //!< squash main tail if handler stuck
+
+    // --- Hardware-walker options -------------------------------------
+    bool hwSpeculativeFill = true;   //!< install fills for squashed misses
+
+    // --- Quick-start ---------------------------------------------------
+    unsigned quickStartWarmup = 8;   //!< cycles to re-prefetch the buffer
+
+    // --- Generalized mechanism (paper Section 6) ------------------------
+    /**
+     * Treat FSQRT as unimplemented in hardware: executing one raises
+     * an instruction-emulation exception handled by PALcode (with
+     * register access via EmulArg/EmulDest/EMULWR). Exercises the
+     * generalized multithreaded mechanism of Section 6.
+     */
+    bool emulateFsqrt = false;
+
+    // --- Table 3 limit-study toggles -----------------------------------
+    bool freeHandlerExecBw = false;  //!< handler uses no FU/issue slots
+    bool freeHandlerWindow = false;  //!< handler uses no window entries
+    bool freeHandlerFetchBw = false; //!< handler fetch/decode are free
+    bool instantHandlerFetch = false;//!< handler appears decoded at once
+
+    bool usesHandlerThread() const
+    {
+        return mech == ExceptMech::Multithreaded ||
+               mech == ExceptMech::QuickStart;
+    }
+};
+
+/** Top-level simulation parameters. */
+struct SimParams
+{
+    CoreParams core;
+    MemParams mem;
+    TlbParams tlb;
+    BpredParams bpred;
+    ExceptParams except;
+
+    /** Stop after this many retired user-mode instructions (total). */
+    uint64_t maxInsts = 1'000'000;
+
+    /**
+     * Instructions executed before measurement begins (TLB, cache and
+     * page-table warm-up; the paper starts from mid-execution
+     * checkpoints for the same reason). Counted toward maxInsts.
+     */
+    uint64_t warmupInsts = 0;
+
+    /** Workload-generation seed. */
+    uint64_t seed = 1;
+
+    /**
+     * Set a parameter by dotted name, e.g. "core.width=4" or
+     * "except.mech=multithreaded". Fatal on unknown keys/values.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse "k=v" and apply. */
+    void setKeyValue(const std::string &assignment);
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+/** Parse a mechanism name ("traditional", "mt", "quickstart", ...). */
+ExceptMech parseMech(const std::string &name);
+
+} // namespace zmt
+
+#endif // ZMT_CONFIG_PARAMS_HH

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Completion stage: drains the completion queue, wakes dependents,
+ * resolves branches (mispredict squash + predictor repair), applies
+ * the timing-level effects of TLBWR / RFE / HARDEXC, and consumes
+ * finished hardware page walks. Also hosts the per-mechanism TLB-miss
+ * dispatch (paper Sections 4.1, 4.3, 4.5).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace zmt
+{
+
+void
+SmtCore::doComplete()
+{
+    while (!completionQueue.empty() &&
+           completionQueue.begin()->first <= curCycle) {
+        InstPtr inst = completionQueue.begin()->second;
+        completionQueue.erase(completionQueue.begin());
+        if (inst->squashed())
+            continue;
+        completeInst(inst);
+    }
+    if (params.except.mech == ExceptMech::Hardware)
+        processWalker();
+}
+
+void
+SmtCore::completeInst(const InstPtr &inst)
+{
+    inst->status = InstStatus::Done;
+
+    for (const InstPtr &dep : inst->dependents) {
+        if (!dep->squashed() && dep->depsPending > 0)
+            --dep->depsPending;
+    }
+    inst->dependents.clear();
+
+    if (inst->isTlbwr()) {
+        onTlbwrExecute(inst);
+    } else if (inst->isRfe()) {
+        onRfeExecute(inst);
+    } else if (inst->di.op == isa::Opcode::Emulwr) {
+        onEmulwrExecute(inst);
+    } else if (inst->isHardexc()) {
+        onHardexcExecute(inst);
+    } else if (inst->isBranch()) {
+        resolveBranch(inst);
+    }
+}
+
+void
+SmtCore::resolveBranch(const InstPtr &inst)
+{
+    // Training happens at retirement so wrong-path outcomes never
+    // pollute the tables; only recovery happens here.
+    ThreadCtx &ctx = ctxOf(*inst);
+    if (!inst->mispredicted())
+        return;
+
+    ++branchSquashes;
+    ZTRACE(curCycle, Squash,
+           "t%d mispredict seq=%llu pc=%#llx -> %#llx", int(inst->tid),
+           (unsigned long long)inst->seq, (unsigned long long)inst->pc,
+           (unsigned long long)(inst->actTaken ? inst->actTarget
+                                               : inst->pc + 4));
+    if (inst->di.info->isReturn)
+        ++bpred->rasMispredicts;
+    else if (inst->di.info->isIndirect)
+        ++bpred->indirectMispredicts;
+    else if (inst->di.info->isConditional)
+        ++bpred->condMispredicts;
+    squashFrom(ctx, inst->seq + 1);
+    bpred->squashRestore(ctx.id, inst->pc, inst->di, inst->actTaken,
+                         inst->bpChk);
+    ctx.fetchPc = inst->actTaken ? inst->actTarget : inst->pc + 4;
+    ctx.fetchPal = inst->palMode;
+    if (ctx.isHandler()) {
+        // A mispredict inside the handler (the page-fault check):
+        // fetch must continue past the predicted handler length.
+        ctx.handlerLenCapped = false;
+    }
+}
+
+void
+SmtCore::onTlbwrExecute(const InstPtr &inst)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    Asn asn;
+    if (ctx.isHandler()) {
+        ExcRecord *record = recordForHandler(ctx.id);
+        panic_if(!record, "handler context with no exception record");
+        asn = record->asn;
+        record->filled = true;
+    } else {
+        asn = asnOf(ctx); // traditional inline handler
+    }
+    ZTRACE(curCycle, Exc, "t%d TLBWR fill asn=%u va=%#llx",
+           int(inst->tid), unsigned(asn),
+           (unsigned long long)inst->tlbTag);
+    tlb->insert(asn, inst->tlbTag);
+    installFill(asn, inst->tlbTag);
+}
+
+void
+SmtCore::installFill(Asn asn, Addr va)
+{
+    Addr vpn = pageNum(va);
+    for (auto it = parked.begin(); it != parked.end();) {
+        InstPtr &waiter = *it;
+        if (waiter->squashed()) {
+            it = parked.erase(it);
+            continue;
+        }
+        ThreadCtx &wctx = ctxOf(**&waiter);
+        if (wctx.proc && wctx.proc->asn() == asn &&
+            pageNum(waiter->effVa) == vpn &&
+            waiter->status == InstStatus::TlbWait) {
+            waiter->status = InstStatus::InWindow; // re-schedule
+            it = parked.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SmtCore::onRfeExecute(const InstPtr &inst)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    if (ctx.isHandler()) {
+        // Nothing at execute: the retirement splice completes the
+        // exception; the handler context has stopped fetching already.
+        return;
+    }
+    // Traditional inline handler: redirect fetch back to the faulting
+    // instruction. The target was not predicted (no RAS-like mechanism
+    // for exception returns, Section 3), so the pipe refills from here.
+    ctx.fetchPal = false;
+    ctx.fetchPc = ctx.pendingReturnPc;
+    ctx.stalledRfe = false;
+}
+
+void
+SmtCore::onHardexcExecute(const InstPtr &inst)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    if (!ctx.isHandler()) {
+        // An inline handler found an invalid PTE. On the correct path
+        // this would be a real page fault (the workloads never fault);
+        // on a wild wrong path the thread simply waits for the
+        // inevitable squash from an older mispredicted branch.
+        ctx.deadEnd = true;
+        return;
+    }
+
+    // Multithreaded handler requests reversion to the traditional
+    // mechanism (paper Section 4.3): throw away the handler thread's
+    // work, squash the master from the excepting instruction, and
+    // re-execute the whole handler inline.
+    ExcRecord *record = recordForHandler(ctx.id);
+    panic_if(!record, "handler context with no exception record");
+    ++hardReverts;
+    ZTRACE(curCycle, Exc, "HARDEXC revert: handler ctx=%d master=%d",
+           int(ctx.id), int(record->master));
+
+    ThreadCtx &master = *contexts[record->master];
+    InstPtr fault = record->faultInst;
+    Addr fault_va = fault->effVa;
+    Addr fault_pc = fault->pc;
+    BpredCheckpoint chk = fault->bpChk;
+
+    ++trapSquashes;
+    squashFrom(master, fault->seq); // also reclaims this handler ctx
+    bpred->restore(master.id, chk);
+    seedPrivRegs(master, master, fault_va, fault_pc);
+    master.pendingReturnPc = fault_pc;
+    master.fetchPal = true;
+    master.fetchPc = pal.dtbMissEntry;
+}
+
+void
+SmtCore::processWalker()
+{
+    for (const WalkResult &walk : walker->collectFinished(curCycle)) {
+        if (walk.squashed)
+            continue; // paper: fill only if not squashed by completion
+        uint64_t pte = physMem.read64(walk.pteAddr);
+        if (!Pte::valid(pte)) {
+            // Wild wrong-path walk found an invalid PTE: no fill; the
+            // parked instruction dies with its squash.
+            continue;
+        }
+        tlb->insert(walk.asn, walk.va);
+        installFill(walk.asn, walk.va);
+    }
+}
+
+void
+SmtCore::seedPrivRegs(ThreadCtx &ctx, const ThreadCtx &app_ctx, Addr va,
+                      Addr fault_pc)
+{
+    using isa::PrivReg;
+    panic_if(!app_ctx.proc, "seeding priv regs without a process");
+    ctx.arch.writePriv(PrivReg::FaultVa, va);
+    ctx.arch.writePriv(PrivReg::Ptbr, app_ctx.proc->space().ptbr());
+    ctx.arch.writePriv(PrivReg::FaultAsn, app_ctx.proc->asn());
+    ctx.arch.writePriv(PrivReg::ExcAddr, fault_pc);
+    // VA_FORM: the hardware forms the PTE address for the handler,
+    // as on the 21164.
+    ctx.arch.writePriv(PrivReg::PteAddr, app_ctx.proc->space().pteAddr(va));
+}
+
+Addr
+SmtCore::handlerEntry(ExcKind kind) const
+{
+    return kind == ExcKind::TlbMiss ? pal.dtbMissEntry
+                                    : pal.emulFsqrtEntry;
+}
+
+unsigned
+SmtCore::handlerLen(ExcKind kind) const
+{
+    return kind == ExcKind::TlbMiss ? pal.dtbMissLen : pal.emulFsqrtLen;
+}
+
+void
+SmtCore::seedEmulRegs(ThreadCtx &ctx, const DynInst &fault)
+{
+    using isa::PrivReg;
+    // The exception hardware exposes the excepting instruction's
+    // source operand and destination register to the handler (paper
+    // Section 6: "we keep track of those register identifiers"), plus
+    // the architecturally exact result committed by EMULWR.
+    ctx.arch.writePriv(PrivReg::EmulArg, fault.emulArg);
+    ctx.arch.writePriv(PrivReg::EmulDest, fault.di.destReg() >= 0
+                                              ? uint64_t(fault.di.destReg())
+                                              : 0);
+    ctx.arch.writePriv(PrivReg::EmulResult, fault.emulResult);
+    ctx.arch.writePriv(PrivReg::ExcAddr, fault.pc);
+}
+
+void
+SmtCore::onEmulFault(const InstPtr &inst)
+{
+    ++emulFaultsSeen;
+    inst->emulFault = true;
+
+    switch (params.except.mech) {
+      case ExceptMech::PerfectTlb:
+      case ExceptMech::Traditional:
+      case ExceptMech::Hardware:
+        // No hardware FSM can emulate an instruction (the paper's
+        // point about exceptions that "cannot be implemented in
+        // hardware state machines"): everything but the multithreaded
+        // mechanism falls back to the trap.
+        trapTraditional(inst, ExcKind::EmulFsqrt);
+        return;
+      case ExceptMech::Multithreaded:
+      case ExceptMech::QuickStart:
+        spawnMtHandler(inst, ExcKind::EmulFsqrt);
+        return;
+    }
+}
+
+void
+SmtCore::onEmulwrExecute(const InstPtr &inst)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    if (!ctx.isHandler())
+        return; // inline trap: the dispatch-time write did the work
+
+    // Multithreaded path: the parked excepting instruction is
+    // converted to a NOP and its consumers are marked ready and
+    // scheduled normally (paper Section 6).
+    ExcRecord *record = recordForHandler(ctx.id);
+    panic_if(!record, "EMULWR in a handler without a record");
+    InstPtr fault = record->faultInst;
+    if (fault && fault->status == InstStatus::TlbWait &&
+        !fault->squashed()) {
+        for (auto it = parked.begin(); it != parked.end(); ++it) {
+            if (it->get() == fault.get()) {
+                parked.erase(it);
+                break;
+            }
+        }
+        completeInst(fault);
+    }
+    record->filled = true;
+}
+
+void
+SmtCore::onTlbMiss(const InstPtr &inst)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    Asn asn = asnOf(ctx);
+    Addr vpn = pageNum(inst->effVa);
+    ++tlbMissesSeen;
+    ZTRACE(curCycle, Exc, "t%d DTLB miss seq=%llu pc=%#llx va=%#llx",
+           int(ctx.id), (unsigned long long)inst->seq,
+           (unsigned long long)inst->pc,
+           (unsigned long long)inst->effVa);
+
+    switch (params.except.mech) {
+      case ExceptMech::PerfectTlb:
+        panic("TLB miss under a perfect TLB");
+        return;
+
+      case ExceptMech::Traditional:
+        trapTraditional(inst, ExcKind::TlbMiss);
+        return;
+
+      case ExceptMech::Hardware: {
+        if (walker->walking(asn, inst->effVa)) {
+            walker->relink(asn, inst->effVa, inst->seq);
+            parked.push_back(inst);
+            return;
+        }
+        inst->causedTlbMiss = true;
+        Addr pte_addr = ctx.proc->space().pteAddr(inst->effVa);
+        walker->startWalk(asn, inst->effVa, pte_addr, inst->seq);
+        parked.push_back(inst);
+        return;
+      }
+
+      case ExceptMech::Multithreaded:
+      case ExceptMech::QuickStart: {
+        // Secondary miss to a page already being handled (Sec 4.5).
+        if (ExcRecord *record = recordForPage(asn, vpn)) {
+            if (inst->seq < record->faultInst->seq) {
+                if (params.except.relinkSecondaryMiss) {
+                    // Re-link the handler thread to the older
+                    // excepting instruction: the splice point moves.
+                    record->faultInst = inst;
+                    ++relinks;
+                    parked.push_back(inst);
+                } else {
+                    // Without relinking: squash and re-fetch at the
+                    // correct (older) boundary — the squash reclaims
+                    // the in-flight handler.
+                    trapTraditional(inst, ExcKind::TlbMiss);
+                }
+            } else {
+                parked.push_back(inst);
+            }
+            return;
+        }
+        spawnMtHandler(inst, ExcKind::TlbMiss);
+        return;
+      }
+    }
+}
+
+void
+SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
+{
+    ThreadCtx &master = ctxOf(*inst);
+
+    ThreadCtx *idle = nullptr;
+    for (auto &ctx : contexts) {
+        if (ctx->cstate == CtxState::Idle) {
+            idle = ctx.get();
+            break;
+        }
+    }
+    if (!idle) {
+        // More exceptions than idle contexts: revert to the
+        // traditional mechanism (the paper's advocated option).
+        ++mtFallbacks;
+        trapTraditional(inst, kind);
+        return;
+    }
+
+    ++mtSpawns;
+    ZTRACE(curCycle, Exc, "spawn %s handler ctx=%d master=%d fault=%llu",
+           kind == ExcKind::TlbMiss ? "dtbmiss" : "emul", int(idle->id),
+           int(master.id), (unsigned long long)inst->seq);
+    if (kind == ExcKind::TlbMiss)
+        inst->causedTlbMiss = true;
+
+    ThreadCtx &h = *idle;
+    h.cstate = CtxState::Handler;
+    h.master = master.id;
+    h.proc = master.proc;
+    h.fetchPal = true;
+    h.fetchPc = handlerEntry(kind);
+    h.fetchEnabled = true;
+    h.stalledRfe = false;
+    h.deadEnd = false;
+    h.fetchHalted = false;
+    h.handlerFetched = 0;
+    h.handlerLen = handlerLen(kind);
+    h.handlerLenCapped = true;
+    if (kind == ExcKind::TlbMiss)
+        seedPrivRegs(h, master, inst->effVa, inst->pc);
+    else
+        seedEmulRegs(h, *inst);
+
+    ExcRecord record;
+    record.kind = kind;
+    record.master = master.id;
+    record.handler = h.id;
+    record.asn = asnOf(master);
+    record.vpn = kind == ExcKind::TlbMiss ? pageNum(inst->effVa) : 0;
+    record.faultInst = inst;
+    record.reservedRemaining =
+        params.except.windowReservation ? handlerLen(kind) : 0;
+    records.push_back(std::move(record));
+
+    parked.push_back(inst);
+
+    if (params.except.instantHandlerFetch) {
+        // Limit study: the handler appears decoded in the window the
+        // cycle the miss is detected.
+        prefillQuickStart(h);
+        while (!h.fetchBuf.empty()) {
+            InstPtr head = h.fetchBuf.front();
+            h.fetchBuf.pop_front();
+            dispatchInst(h, head);
+        }
+        return;
+    }
+
+    if (params.except.mech == ExceptMech::QuickStart) {
+        // History-based exception-type prediction (Section 5.4): the
+        // idle buffer holds the *predicted* handler; a different
+        // actual type means a cold start.
+        bool right_type = predictedExcType == kind;
+        if (!right_type)
+            ++qsTypeMispredicts;
+        if (curCycle >= h.warmReadyAt && right_type) {
+            ++qsWarmStarts;
+            prefillQuickStart(h);
+        } else {
+            ++qsColdStarts; // falls back to normal handler fetch
+        }
+        predictedExcType = kind;
+    }
+}
+
+void
+SmtCore::trapTraditional(const InstPtr &inst, ExcKind kind)
+{
+    ThreadCtx &ctx = ctxOf(*inst);
+    panic_if(!ctx.isApp(), "traditional trap on a non-app context");
+
+    ++trapSquashes;
+    ZTRACE(curCycle, Exc, "t%d trap %s seq=%llu pc=%#llx va=%#llx",
+           int(ctx.id), kind == ExcKind::TlbMiss ? "dtbmiss" : "emul",
+           (unsigned long long)inst->seq, (unsigned long long)inst->pc,
+           (unsigned long long)inst->effVa);
+    Addr fault_va = inst->effVa;
+    Addr fault_pc = inst->pc;
+    BpredCheckpoint chk = inst->bpChk;
+    DynInst fault_copy = *inst; // survives the squash for seeding
+
+    // Squash the excepting instruction and everything younger
+    // (paper Figure 1a), then fetch the handler inline.
+    squashFrom(ctx, inst->seq);
+    bpred->restore(ctx.id, chk);
+    if (kind == ExcKind::TlbMiss) {
+        seedPrivRegs(ctx, ctx, fault_va, fault_pc);
+        // Refetch restarts at the excepting instruction.
+        ctx.pendingReturnPc = fault_pc;
+    } else {
+        seedEmulRegs(ctx, fault_copy);
+        // The emulated instruction is completed by the handler
+        // (EMULWR); execution resumes *after* it.
+        ctx.pendingReturnPc = fault_pc + 4;
+    }
+    ctx.pendingExcKind = kind;
+    ctx.fetchPal = true;
+    ctx.fetchPc = handlerEntry(kind);
+}
+
+} // namespace zmt

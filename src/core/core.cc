@@ -1,0 +1,286 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
+                 PhysMem &mem, const PalCode &pal,
+                 stats::StatGroup *parent)
+    : stats::StatGroup("core", parent),
+      numCycles(this, "cycles", "simulated cycles"),
+      retiredUser(this, "retiredUser", "retired user-mode instructions"),
+      retiredPal(this, "retiredPal", "retired PAL-mode instructions"),
+      fetchedInsts(this, "fetchedInsts", "instructions fetched"),
+      tlbMisses(this, "tlbMisses", "completed TLB miss handlings"),
+      tlbMissesSeen(this, "tlbMissesSeen",
+                    "TLB misses detected (incl. wrong path)"),
+      wrongPathMisses(this, "wrongPathMisses",
+                      "TLB miss detections later squashed"),
+      branchSquashes(this, "branchSquashes", "branch mispredict squashes"),
+      trapSquashes(this, "trapSquashes", "traditional trap squashes"),
+      squashedInsts(this, "squashedInsts", "instructions squashed"),
+      mtSpawns(this, "mtSpawns", "handler threads spawned"),
+      mtFallbacks(this, "mtFallbacks",
+                  "misses reverted to traditional (no idle thread)"),
+      relinks(this, "relinks", "secondary-miss handler re-links"),
+      deadlockSquashes(this, "deadlockSquashes",
+                       "main-thread tail squashes to free window slots"),
+      hardReverts(this, "hardReverts", "HARDEXC reversions to traditional"),
+      qsWarmStarts(this, "qsWarmStarts", "quick-start warm activations"),
+      qsColdStarts(this, "qsColdStarts",
+                   "quick-start spawns with a cold buffer"),
+      qsTypeMispredicts(this, "qsTypeMispredicts",
+                        "quick-start prefetched the wrong handler type"),
+      emulFaultsSeen(this, "emulFaultsSeen",
+                     "instruction-emulation exceptions detected"),
+      emulDone(this, "emulDone",
+               "completed instruction emulations (retired)"),
+      handlerActiveCycles(this, "handlerActiveCycles",
+                          "cycles with an active handler thread"),
+      ipcStat(this, "ipc", "retired user instructions per cycle",
+              [this] {
+                  return numCycles.value() > 0
+                             ? retiredUser.value() / numCycles.value()
+                             : 0.0;
+              }),
+      issuedPerCycle(this, "issuedPerCycle",
+                     "instructions issued per cycle"),
+      windowOccupancy(this, "windowOccupancy",
+                      "instruction-window occupancy per cycle", 0,
+                      double(params.core.windowSize + 1), 16),
+      params(params),
+      physMem(mem),
+      pal(pal)
+{
+    fatal_if(apps.empty(), "no application threads");
+
+    hier = std::make_unique<MemHierarchy>(params.mem, this);
+    tlb = std::make_unique<Tlb>(params.tlb.dtlbEntries, this);
+
+    numApps = unsigned(apps.size());
+    unsigned idle =
+        params.except.usesHandlerThread() ? params.except.idleThreads : 0;
+    unsigned num_ctxs = numApps + idle;
+
+    bpred = std::make_unique<BranchPredictor>(params.bpred, num_ctxs, this);
+    walker = std::make_unique<HwWalker>(params.except.hwSpeculativeFill,
+                                        this);
+
+    for (unsigned i = 0; i < num_ctxs; ++i) {
+        auto ctx = std::make_unique<ThreadCtx>();
+        ctx->id = ThreadID(i);
+        if (i < numApps) {
+            ctx->proc = apps[i];
+            ctx->cstate = CtxState::App;
+            ctx->arch = apps[i]->initialState();
+            ctx->fetchEnabled = true;
+            ctx->fetchPc = apps[i]->entry();
+        } else {
+            ctx->cstate = CtxState::Idle;
+            ctx->fetchEnabled = false;
+        }
+        contexts.push_back(std::move(ctx));
+    }
+}
+
+Asn
+SmtCore::asnOf(const ThreadCtx &ctx) const
+{
+    panic_if(!ctx.proc, "asnOf on a context with no bound process");
+    return ctx.proc->asn();
+}
+
+uint64_t
+SmtCore::totalRetiredUser() const
+{
+    return uint64_t(retiredUser.value());
+}
+
+uint64_t
+SmtCore::retiredUserInsts(unsigned app) const
+{
+    panic_if(app >= numApps, "bad app index");
+    return contexts[app]->retiredUserInsts;
+}
+
+uint64_t
+SmtCore::retiredStoreHash(unsigned app) const
+{
+    panic_if(app >= numApps, "bad app index");
+    return contexts[app]->storeHash;
+}
+
+unsigned
+SmtCore::reservedAgainst(ThreadID master) const
+{
+    if (!params.except.windowReservation)
+        return 0;
+    unsigned total = 0;
+    for (const auto &record : records)
+        if (record.master == master)
+            total += record.reservedRemaining;
+    return total;
+}
+
+SmtCore::ExcRecord *
+SmtCore::recordForHandler(ThreadID handler)
+{
+    for (auto &record : records)
+        if (record.handler == handler)
+            return &record;
+    return nullptr;
+}
+
+SmtCore::ExcRecord *
+SmtCore::recordForPage(Asn asn, Addr vpn)
+{
+    for (auto &record : records)
+        if (record.kind == ExcKind::TlbMiss && record.asn == asn &&
+            record.vpn == vpn)
+            return &record;
+    return nullptr;
+}
+
+Addr
+SmtCore::fakePa(Asn asn, Addr va) const
+{
+    // Wild (unmapped) addresses still generate cache traffic under a
+    // perfect TLB — the pollution effect behind the paper's gcc
+    // anomaly. Map them into a reserved physical region per ASN.
+    return (Addr{1} << 40) | (Addr(asn) << 32) | (va & 0xffffffffULL);
+}
+
+void
+SmtCore::tick()
+{
+    doRetire();
+    doComplete();
+    doIssue();
+    doDispatch();
+    doFetch();
+
+    bool handler_active = false;
+    for (const auto &ctx : contexts)
+        handler_active = handler_active || ctx->isHandler();
+    if (handler_active)
+        ++handlerActiveCycles;
+    windowOccupancy.sample(double(windowCount));
+
+    if ((curCycle & 1023) == 0) {
+        unsigned actual = 0;
+        for (const InstPtr &inst : window)
+            actual += inst->freeWindowSlot ? 0 : 1;
+        panic_if(actual != windowCount,
+                 "window occupancy audit: counted %u tracked %u",
+                 actual, windowCount);
+    }
+
+    ++curCycle;
+    numCycles = double(curCycle);
+}
+
+CoreResult
+SmtCore::run()
+{
+    // Livelock guard: generous bound on cycles per retired instruction.
+    const Cycle cycle_cap = Cycle(params.maxInsts) * 200 + 1'000'000;
+
+    Cycle warmup_cycles = 0;
+    uint64_t warmup_misses = 0;
+    bool warm = params.warmupInsts == 0;
+
+    // With multiple applications, a fixed *total* budget would let a
+    // penalized thread simply retire less while the others fill the
+    // quota, hiding per-thread exception costs. Instead every app
+    // thread must retire its share, so the run length reflects the
+    // slowest thread's progress.
+    const uint64_t quota = params.maxInsts / numApps;
+    const uint64_t warm_quota = params.warmupInsts / numApps;
+    auto all_reached = [&](uint64_t target) {
+        for (unsigned i = 0; i < numApps; ++i)
+            if (contexts[i]->retiredUserInsts < target)
+                return false;
+        return true;
+    };
+
+    while (!all_reached(quota)) {
+        tick();
+        if (!warm && all_reached(warm_quota)) {
+            warm = true;
+            warmup_cycles = curCycle;
+            warmup_misses = uint64_t(tlbMisses.value());
+        }
+        if (curCycle > cycle_cap) {
+            dumpState(std::cerr);
+            fatal("livelock: %lu cycles, only %lu insts retired (%s)",
+                  (unsigned long)curCycle,
+                  (unsigned long)totalRetiredUser(),
+                  params.summary().c_str());
+        }
+    }
+
+    CoreResult result;
+    result.cycles = curCycle;
+    result.userInsts = totalRetiredUser();
+    result.tlbMisses = uint64_t(tlbMisses.value());
+    result.measuredCycles = curCycle - warmup_cycles;
+    result.measuredInsts =
+        result.userInsts - std::min(params.warmupInsts, result.userInsts);
+    result.measuredMisses = result.tlbMisses - warmup_misses;
+    result.ipc = result.measuredCycles
+                     ? double(result.measuredInsts) / result.measuredCycles
+                     : 0.0;
+    return result;
+}
+
+
+void
+SmtCore::dumpState(std::ostream &os) const
+{
+    os << "=== core state @ cycle " << curCycle << " ===\n";
+    os << "window: " << window.size() << " entries, occupancy "
+       << windowCount << "/" << params.core.windowSize << "\n";
+    size_t shown = 0;
+    for (const InstPtr &inst : window) {
+        if (shown++ >= 8)
+            break;
+        os << "  w seq=" << inst->seq << " t" << inst->tid << " pc=0x"
+           << std::hex << inst->pc << std::dec << " "
+           << isa::disassemble(inst->di) << " st="
+           << int(inst->status) << " deps=" << inst->depsPending
+           << (inst->palMode ? " PAL" : "") << "\n";
+    }
+    for (const auto &ctx : contexts) {
+        os << "ctx " << ctx->id << " state=" << int(ctx->cstate)
+           << " fetchPc=0x" << std::hex << ctx->fetchPc << std::dec
+           << (ctx->fetchPal ? " PAL" : "")
+           << " en=" << ctx->fetchEnabled << " rfe=" << ctx->stalledRfe
+           << " dead=" << ctx->deadEnd << " icount=" << ctx->icount
+           << " fbuf=" << ctx->fetchBuf.size()
+           << " inflight=" << ctx->inflight.size();
+        if (!ctx->inflight.empty()) {
+            const InstPtr &head = ctx->inflight.front();
+            os << " head{seq=" << head->seq << " st="
+               << int(head->status) << " "
+               << isa::disassemble(head->di) << "}";
+        }
+        os << "\n";
+    }
+    os << "records: " << records.size();
+    for (const auto &r : records) {
+        os << " [m" << r.master << " h" << r.handler << " vpn=0x"
+           << std::hex << r.vpn << std::dec << " fault="
+           << r.faultInst->seq << " res=" << r.reservedRemaining
+           << " filled=" << r.filled << " splice=" << r.spliceOpen
+           << "]";
+    }
+    os << "\nparked: " << parked.size() << " completionQ: "
+       << completionQueue.size() << "\n";
+}
+
+} // namespace zmt

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Schedule/execute stage: oldest-fetched-first selection over the
+ * shared instruction window, functional-unit and issue-width
+ * constraints (Table 1), TLB lookup at address generation with
+ * mechanism-specific miss handling, and the hardware page walker
+ * competing for load/store ports.
+ */
+
+#include "core/core.hh"
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+bool
+SmtCore::fuAvailable(isa::OpClass cls) const
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Priv:
+      case OpClass::Nop:
+      case OpClass::Halt:
+        return aluUsed < params.core.intAluCount;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return mulUsed < params.core.intMulCount;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+        return fpAddUsed < params.core.fpAddCount;
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return fpDivUsed < params.core.fpDivCount;
+      case OpClass::Load:
+      case OpClass::Store:
+        return lsUsed < params.core.lsPortCount;
+    }
+    return false;
+}
+
+void
+SmtCore::consumeFu(isa::OpClass cls)
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Priv:
+      case OpClass::Nop:
+      case OpClass::Halt:
+        ++aluUsed;
+        break;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        ++mulUsed;
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+        ++fpAddUsed;
+        break;
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        ++fpDivUsed;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        ++lsUsed;
+        break;
+    }
+}
+
+bool
+SmtCore::oldestUnfinished(const DynInst &inst) const
+{
+    // Serializing instructions (RFE, HARDEXC) issue only when every
+    // older instruction of their thread has completed; this guarantees
+    // the TLB write precedes the exception return, and that the return
+    // is effectively non-speculative within its thread.
+    const ThreadCtx &ctx = *contexts[inst.tid];
+    for (const InstPtr &other : ctx.inflight) {
+        if (other->seq >= inst.seq)
+            return true;
+        if (other->status != InstStatus::Done)
+            return false;
+    }
+    return true;
+}
+
+void
+SmtCore::issueInst(const InstPtr &inst)
+{
+    const bool mem_op = inst->isMem();
+
+    // Generalized mechanism (Section 6): FSQRT is unimplemented in
+    // hardware — raise an instruction-emulation exception when its
+    // operands become ready.
+    if (params.except.emulateFsqrt && !inst->palMode &&
+        inst->di.op == isa::Opcode::Fsqrt) {
+        inst->status = InstStatus::TlbWait; // parked (shared machinery)
+        onEmulFault(inst);
+        return;
+    }
+
+    if (mem_op && !inst->palMode &&
+        params.except.mech != ExceptMech::PerfectTlb) {
+        ThreadCtx &ctx = ctxOf(*inst);
+        Asn asn = asnOf(ctx);
+        if (!tlb->lookup(asn, inst->effVa)) {
+            // DTLB miss detected at address generation. Park the
+            // instruction (it re-executes after the fill) and dispatch
+            // to the configured exception architecture. The port was
+            // consumed by the probe.
+            inst->status = InstStatus::TlbWait;
+            onTlbMiss(inst);
+            return;
+        }
+    }
+
+    Cycle done;
+    if (mem_op) {
+        Addr pa = inst->memMapped
+                      ? inst->effPa
+                      : fakePa(asnOf(ctxOf(*inst)), inst->effVa);
+        if (inst->isLoad()) {
+            // Load port latency (3) plus any miss delay.
+            Cycle ready = hier->dataAccess(pa, false, curCycle);
+            done = ready + 3;
+        } else {
+            // Stores complete at the port (write buffering); the cache
+            // side effects (allocation, MSHR, bus) are still modeled.
+            hier->dataAccess(pa, true, curCycle);
+            done = curCycle + 2;
+        }
+    } else {
+        done = curCycle + isa::opLatency(inst->di.info->opClass);
+    }
+
+    inst->status = InstStatus::Issued;
+    inst->doneAt = done;
+    completionQueue.emplace(done, inst);
+}
+
+void
+SmtCore::doIssue()
+{
+    aluUsed = mulUsed = fpAddUsed = fpDivUsed = lsUsed = 0;
+    unsigned budget = params.core.width;
+    unsigned issued = 0;
+
+    // The window is kept sorted by sequence number: oldest first.
+    // Iterate over a snapshot since exception handling (traditional
+    // traps) can mutate the window mid-scan.
+    std::vector<InstPtr> candidates(window.begin(), window.end());
+    for (const InstPtr &inst : candidates) {
+        if (inst->status != InstStatus::InWindow)
+            continue;
+        if (inst->depsPending > 0)
+            continue;
+        if (curCycle < inst->windowAt + params.core.schedDepth +
+                           params.core.regReadDepth)
+            continue;
+        if (inst->isSerializing() && !oldestUnfinished(*inst))
+            continue;
+
+        bool free_exec = params.except.freeHandlerExecBw &&
+                         contexts[inst->tid]->isHandler();
+        isa::OpClass cls = inst->di.info->opClass;
+        if (!free_exec) {
+            if (budget == 0)
+                break;
+            if (!fuAvailable(cls))
+                continue;
+        }
+
+        issueInst(inst);
+        ++issued;
+
+        if (!free_exec) {
+            consumeFu(cls);
+            --budget;
+        }
+    }
+
+    issuedPerCycle.sample(double(issued));
+
+    // The hardware walker's PTE loads are scheduled like other loads,
+    // competing for the remaining load/store ports (Section 5.1).
+    if (params.except.mech == ExceptMech::Hardware) {
+        unsigned ports_free = params.core.lsPortCount > lsUsed
+                                  ? params.core.lsPortCount - lsUsed
+                                  : 0;
+        lsUsed += walker->issue(curCycle, ports_free, *hier);
+    }
+}
+
+} // namespace zmt

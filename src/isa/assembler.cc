@@ -1,0 +1,257 @@
+#include "isa/assembler.hh"
+
+#include "common/logging.hh"
+
+namespace zmt::isa
+{
+
+Addr
+Program::labelAddr(const std::string &name) const
+{
+    auto it = labels.find(name);
+    fatal_if(it == labels.end(), "unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    fatal_if(labelPos.count(name), "duplicate label '%s'", name.c_str());
+    labelPos[name] = insts.size();
+    return *this;
+}
+
+Assembler &
+Assembler::emit(const DecodedInst &inst)
+{
+    insts.push_back({inst, {}, Fixup::None});
+    return *this;
+}
+
+Assembler &
+Assembler::emitBranch(Opcode op, unsigned ra, const std::string &target)
+{
+    insts.push_back({makeImm(op, ra, 0, 0), target, Fixup::Disp});
+    return *this;
+}
+
+Assembler &
+Assembler::liLabel(unsigned ra, const std::string &target)
+{
+    insts.push_back({makeImm(Opcode::Lui, ra, 0, 0), target,
+                     Fixup::AddrHi});
+    insts.push_back({makeImm(Opcode::Ori, ra, ra, 0), target,
+                     Fixup::AddrLo});
+    return *this;
+}
+
+#define REG3(name, opcode)                                               \
+    Assembler &Assembler::name(unsigned ra, unsigned rb, unsigned rc)    \
+    {                                                                    \
+        return emit(makeReg(Opcode::opcode, ra, rb, rc));                \
+    }
+
+REG3(add, Add)
+REG3(sub, Sub)
+REG3(and_, And)
+REG3(or_, Or)
+REG3(xor_, Xor)
+REG3(sll, Sll)
+REG3(srl, Srl)
+REG3(sra, Sra)
+REG3(cmpeq, Cmpeq)
+REG3(cmplt, Cmplt)
+REG3(cmple, Cmple)
+REG3(mul, Mul)
+REG3(div, Div)
+REG3(fadd, Fadd)
+REG3(fsub, Fsub)
+REG3(fmul, Fmul)
+REG3(fdiv, Fdiv)
+REG3(fcmplt, Fcmplt)
+#undef REG3
+
+#define IMM3(name, opcode)                                               \
+    Assembler &Assembler::name(unsigned ra, unsigned rb, int16_t imm)    \
+    {                                                                    \
+        return emit(makeImm(Opcode::opcode, ra, rb, imm));               \
+    }
+
+IMM3(addi, Addi)
+IMM3(andi, Andi)
+IMM3(ori, Ori)
+IMM3(xori, Xori)
+IMM3(slli, Slli)
+IMM3(srli, Srli)
+IMM3(cmplti, Cmplti)
+IMM3(ldq, Ldq)
+IMM3(ldl, Ldl)
+IMM3(stq, Stq)
+IMM3(stl, Stl)
+#undef IMM3
+
+Assembler &
+Assembler::lui(unsigned ra, int16_t imm)
+{
+    return emit(makeImm(Opcode::Lui, ra, 0, imm));
+}
+
+Assembler &
+Assembler::li(unsigned ra, uint64_t value)
+{
+    // Build the constant 16 bits at a time: lui loads bits [31:16];
+    // wider constants shift-and-or. Small constants take one or two
+    // instructions.
+    if (value <= 0x7fff) {
+        return addi(ra, ZeroReg, int16_t(value));
+    }
+    if (value <= 0xffffffffULL) {
+        lui(ra, int16_t(uint16_t(value >> 16)));
+        if (value & 0xffff)
+            ori(ra, ra, int16_t(uint16_t(value & 0xffff)));
+        return *this;
+    }
+    // 64-bit: assemble high 32, shift, or in low 32.
+    lui(ra, int16_t(uint16_t(value >> 48)));
+    if ((value >> 32) & 0xffff)
+        ori(ra, ra, int16_t(uint16_t((value >> 32) & 0xffff)));
+    slli(ra, ra, 16);
+    if ((value >> 16) & 0xffff)
+        ori(ra, ra, int16_t(uint16_t((value >> 16) & 0xffff)));
+    slli(ra, ra, 16);
+    if (value & 0xffff)
+        ori(ra, ra, int16_t(uint16_t(value & 0xffff)));
+    return *this;
+}
+
+Assembler &
+Assembler::fsqrt(unsigned fa, unsigned fc)
+{
+    return emit(makeReg(Opcode::Fsqrt, fa, 0, fc));
+}
+
+Assembler &
+Assembler::itof(unsigned ra, unsigned fc)
+{
+    return emit(makeReg(Opcode::Itof, ra, 0, fc));
+}
+
+Assembler &
+Assembler::ftoi(unsigned fa, unsigned rc)
+{
+    return emit(makeReg(Opcode::Ftoi, fa, 0, rc));
+}
+
+Assembler &
+Assembler::ifmov(unsigned ra, unsigned fc)
+{
+    return emit(makeReg(Opcode::Ifmov, ra, 0, fc));
+}
+
+Assembler &
+Assembler::fimov(unsigned fa, unsigned rc)
+{
+    return emit(makeReg(Opcode::Fimov, fa, 0, rc));
+}
+
+Assembler &Assembler::br(const std::string &t)
+{ return emitBranch(Opcode::Br, 0, t); }
+Assembler &Assembler::beq(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Beq, ra, t); }
+Assembler &Assembler::bne(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Bne, ra, t); }
+Assembler &Assembler::blt(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Blt, ra, t); }
+Assembler &Assembler::bge(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Bge, ra, t); }
+Assembler &Assembler::blbc(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Blbc, ra, t); }
+Assembler &Assembler::blbs(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Blbs, ra, t); }
+Assembler &Assembler::bsr(unsigned ra, const std::string &t)
+{ return emitBranch(Opcode::Bsr, ra, t); }
+
+Assembler &
+Assembler::jsr(unsigned ra, unsigned rb)
+{
+    return emit(makeReg(Opcode::Jsr, ra, rb, 0));
+}
+
+Assembler &
+Assembler::ret(unsigned ra)
+{
+    return emit(makeReg(Opcode::Ret, ra, 0, 0));
+}
+
+Assembler &
+Assembler::jmp(unsigned ra)
+{
+    return emit(makeReg(Opcode::Jmp, ra, 0, 0));
+}
+
+Assembler &
+Assembler::mfpr(unsigned ra, PrivReg pr)
+{
+    return emit(makeImm(Opcode::Mfpr, ra, 0, int16_t(pr)));
+}
+
+Assembler &
+Assembler::mtpr(unsigned ra, PrivReg pr)
+{
+    return emit(makeImm(Opcode::Mtpr, ra, 0, int16_t(pr)));
+}
+
+Assembler &Assembler::tlbwr() { return emit(makeNullary(Opcode::Tlbwr)); }
+Assembler &Assembler::rfe() { return emit(makeNullary(Opcode::Rfe)); }
+Assembler &Assembler::hardexc()
+{ return emit(makeNullary(Opcode::Hardexc)); }
+Assembler &Assembler::emulwr() { return emit(makeNullary(Opcode::Emulwr)); }
+Assembler &Assembler::nop() { return emit(makeNullary(Opcode::Nop)); }
+Assembler &Assembler::halt() { return emit(makeNullary(Opcode::Halt)); }
+
+Program
+Assembler::assemble(Addr base) const
+{
+    fatal_if(base % 4 != 0, "program base must be word aligned");
+    Program prog;
+    prog.base = base;
+    prog.words.reserve(insts.size());
+
+    for (const auto &[name, idx] : labelPos)
+        prog.labels[name] = base + idx * 4;
+
+    for (size_t i = 0; i < insts.size(); ++i) {
+        DecodedInst inst = insts[i].inst;
+        if (insts[i].fixup != Fixup::None) {
+            auto it = labelPos.find(insts[i].target);
+            fatal_if(it == labelPos.end(), "undefined label '%s'",
+                     insts[i].target.c_str());
+            Addr label_addr = base + it->second * 4;
+            switch (insts[i].fixup) {
+              case Fixup::Disp: {
+                // Displacement counted in instructions from pc+4.
+                int64_t disp = int64_t(it->second) - int64_t(i) - 1;
+                fatal_if(disp < INT16_MIN || disp > INT16_MAX,
+                         "branch displacement out of range to '%s'",
+                         insts[i].target.c_str());
+                inst.imm = int16_t(disp);
+                break;
+              }
+              case Fixup::AddrHi:
+                fatal_if(label_addr > 0xffffffffULL,
+                         "label '%s' above 4 GB", insts[i].target.c_str());
+                inst.imm = int16_t(uint16_t(label_addr >> 16));
+                break;
+              case Fixup::AddrLo:
+                inst.imm = int16_t(uint16_t(label_addr & 0xffff));
+                break;
+              case Fixup::None:
+                break;
+            }
+        }
+        prog.words.push_back(encode(inst));
+    }
+    return prog;
+}
+
+} // namespace zmt::isa

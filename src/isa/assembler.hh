@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A tiny in-memory assembler for ZIA programs.
+ *
+ * Programs are built by calling mnemonic methods; labels provide
+ * forward/backward branch targets. assemble() resolves displacements
+ * and produces a Program: the encoded instruction words plus the label
+ * map, ready to be loaded at a base virtual address.
+ */
+
+#ifndef ZMT_ISA_ASSEMBLER_HH
+#define ZMT_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace zmt::isa
+{
+
+/** An assembled program image. */
+struct Program
+{
+    Addr base = 0;                       //!< load virtual address
+    std::vector<InstWord> words;         //!< encoded text
+    std::map<std::string, Addr> labels;  //!< label -> virtual address
+
+    Addr entry() const { return base; }
+    size_t size() const { return words.size(); }
+
+    /** Address just past the end of the text segment. */
+    Addr end() const { return base + words.size() * 4; }
+
+    /** Virtual address of a label. Fatal if unknown. */
+    Addr labelAddr(const std::string &name) const;
+};
+
+/** Builder for Program objects. */
+class Assembler
+{
+  public:
+    /** Define a label at the current position. */
+    Assembler &label(const std::string &name);
+
+    /** Append an already-decoded instruction. */
+    Assembler &emit(const DecodedInst &inst);
+
+    // --- Register-format integer ops: rc <- ra OP rb ------------------
+    Assembler &add(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &sub(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &and_(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &or_(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &xor_(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &sll(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &srl(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &sra(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &cmpeq(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &cmplt(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &cmple(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &mul(unsigned ra, unsigned rb, unsigned rc);
+    Assembler &div(unsigned ra, unsigned rb, unsigned rc);
+
+    // --- Immediate-format integer ops: ra <- rb OP imm ----------------
+    Assembler &addi(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &andi(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &ori(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &xori(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &slli(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &srli(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &cmplti(unsigned ra, unsigned rb, int16_t imm);
+    Assembler &lui(unsigned ra, int16_t imm);
+
+    /** Load an arbitrary 64-bit constant via a lui/ori/slli sequence. */
+    Assembler &li(unsigned ra, uint64_t value);
+
+    // --- Floating point ------------------------------------------------
+    Assembler &fadd(unsigned fa, unsigned fb, unsigned fc);
+    Assembler &fsub(unsigned fa, unsigned fb, unsigned fc);
+    Assembler &fmul(unsigned fa, unsigned fb, unsigned fc);
+    Assembler &fdiv(unsigned fa, unsigned fb, unsigned fc);
+    Assembler &fsqrt(unsigned fa, unsigned fc);
+    Assembler &fcmplt(unsigned fa, unsigned fb, unsigned fc);
+    Assembler &itof(unsigned ra, unsigned fc);
+    Assembler &ftoi(unsigned fa, unsigned rc);
+    Assembler &ifmov(unsigned ra, unsigned fc);
+    Assembler &fimov(unsigned fa, unsigned rc);
+
+    // --- Memory ---------------------------------------------------------
+    Assembler &ldq(unsigned ra, unsigned rb, int16_t disp);
+    Assembler &ldl(unsigned ra, unsigned rb, int16_t disp);
+    Assembler &stq(unsigned ra, unsigned rb, int16_t disp);
+    Assembler &stl(unsigned ra, unsigned rb, int16_t disp);
+
+    // --- Control (targets are labels) -----------------------------------
+    Assembler &br(const std::string &target);
+    Assembler &beq(unsigned ra, const std::string &target);
+    Assembler &bne(unsigned ra, const std::string &target);
+    Assembler &blt(unsigned ra, const std::string &target);
+    Assembler &bge(unsigned ra, const std::string &target);
+    Assembler &blbc(unsigned ra, const std::string &target);
+    Assembler &blbs(unsigned ra, const std::string &target);
+    Assembler &bsr(unsigned ra, const std::string &target);
+    Assembler &jsr(unsigned ra, unsigned rb);
+    Assembler &ret(unsigned ra);
+    Assembler &jmp(unsigned ra);
+
+    /**
+     * Load the absolute address of a label into a register (lui+ori
+     * pair, resolved at assemble time). Labels must fit in 32 bits.
+     */
+    Assembler &liLabel(unsigned ra, const std::string &target);
+
+    // --- Privileged / misc ----------------------------------------------
+    Assembler &mfpr(unsigned ra, PrivReg pr);
+    Assembler &mtpr(unsigned ra, PrivReg pr);
+    Assembler &tlbwr();
+    Assembler &rfe();
+    Assembler &hardexc();
+    Assembler &emulwr();
+    Assembler &nop();
+    Assembler &halt();
+
+    /** Current instruction count (for size checks). */
+    size_t size() const { return insts.size(); }
+
+    /**
+     * Resolve labels and encode.
+     * @param base virtual address the program will be loaded at
+     */
+    Program assemble(Addr base) const;
+
+  private:
+    /** How a pending instruction's immediate is fixed up at assemble. */
+    enum class Fixup : uint8_t
+    {
+        None,
+        Disp,    //!< branch displacement to a label
+        AddrHi,  //!< bits [31:16] of a label address (lui)
+        AddrLo,  //!< bits [15:0] of a label address (ori)
+    };
+
+    struct Pending
+    {
+        DecodedInst inst;
+        std::string target; //!< label for non-None fixups
+        Fixup fixup = Fixup::None;
+    };
+
+    Assembler &emitBranch(Opcode op, unsigned ra, const std::string &target);
+
+    std::vector<Pending> insts;
+    std::map<std::string, size_t> labelPos; //!< label -> instruction index
+};
+
+} // namespace zmt::isa
+
+#endif // ZMT_ISA_ASSEMBLER_HH

@@ -1,0 +1,104 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace zmt::isa
+{
+
+InstWord
+encode(const DecodedInst &inst)
+{
+    panic_if(!inst.valid(), "encoding an invalid instruction");
+    panic_if(size_t(inst.op) >= 64, "opcode does not fit in 6 bits");
+    InstWord w = InstWord(inst.op) << 26;
+    w |= (InstWord(inst.ra) & 0x1f) << 21;
+    w |= (InstWord(inst.rb) & 0x1f) << 16;
+    if (inst.info->isImmFormat) {
+        w |= InstWord(uint16_t(inst.imm));
+    } else {
+        w |= (InstWord(inst.rc) & 0x1f) << 11;
+    }
+    return w;
+}
+
+DecodedInst
+decode(InstWord word)
+{
+    DecodedInst inst;
+    auto opnum = (word >> 26) & 0x3f;
+    if (opnum >= unsigned(Opcode::NumOpcodes))
+        return inst; // invalid
+    inst.op = Opcode(opnum);
+    inst.info = &opInfo(inst.op);
+    inst.ra = (word >> 21) & 0x1f;
+    inst.rb = (word >> 16) & 0x1f;
+    if (inst.info->isImmFormat) {
+        inst.imm = int16_t(uint16_t(word & 0xffff));
+    } else {
+        inst.rc = (word >> 11) & 0x1f;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const DecodedInst &inst)
+{
+    if (!inst.valid())
+        return "<invalid>";
+    const OpInfo &info = *inst.info;
+    std::ostringstream os;
+    os << info.mnemonic;
+    const char *rp = info.isFp ? "f" : "r";
+    if (info.isImmFormat) {
+        os << " " << rp << unsigned(inst.ra) << ", " << rp
+           << unsigned(inst.rb) << ", " << inst.imm;
+    } else if (info.opClass != OpClass::Nop &&
+               info.opClass != OpClass::Halt &&
+               inst.op != Opcode::Tlbwr && inst.op != Opcode::Rfe &&
+               inst.op != Opcode::Hardexc) {
+        os << " " << rp << unsigned(inst.ra) << ", " << rp
+           << unsigned(inst.rb) << " -> " << rp << unsigned(inst.rc);
+    }
+    return os.str();
+}
+
+DecodedInst
+makeReg(Opcode op, unsigned ra, unsigned rb, unsigned rc)
+{
+    DecodedInst inst;
+    inst.op = op;
+    inst.info = &opInfo(op);
+    panic_if(inst.info->isImmFormat, "%s is immediate-format",
+             inst.info->mnemonic);
+    inst.ra = uint8_t(ra);
+    inst.rb = uint8_t(rb);
+    inst.rc = uint8_t(rc);
+    return inst;
+}
+
+DecodedInst
+makeImm(Opcode op, unsigned ra, unsigned rb, int16_t imm)
+{
+    DecodedInst inst;
+    inst.op = op;
+    inst.info = &opInfo(op);
+    panic_if(!inst.info->isImmFormat, "%s is register-format",
+             inst.info->mnemonic);
+    inst.ra = uint8_t(ra);
+    inst.rb = uint8_t(rb);
+    inst.imm = imm;
+    return inst;
+}
+
+DecodedInst
+makeNullary(Opcode op)
+{
+    DecodedInst inst;
+    inst.op = op;
+    inst.info = &opInfo(op);
+    return inst;
+}
+
+} // namespace zmt::isa

@@ -1,0 +1,141 @@
+#include "isa/opcodes.hh"
+
+#include "common/logging.hh"
+
+namespace zmt::isa
+{
+
+namespace
+{
+
+// Shorthand for table construction.
+struct B
+{
+    const char *m;
+    OpClass c;
+    bool imm = false, br = false, cond = false, ind = false, call = false,
+         ret = false, ld = false, st = false, fp = false, priv = false,
+         wr = false;
+};
+
+constexpr OpInfo
+mk(const B &b)
+{
+    return OpInfo{b.m, b.c, b.imm, b.br, b.cond, b.ind, b.call, b.ret,
+                  b.ld, b.st, b.fp, b.priv, b.wr};
+}
+
+const OpInfo infoTable[] = {
+    /* Nop   */ mk({.m = "nop", .c = OpClass::Nop}),
+    /* Halt  */ mk({.m = "halt", .c = OpClass::Halt}),
+
+    /* Add   */ mk({.m = "add", .c = OpClass::IntAlu, .wr = true}),
+    /* Sub   */ mk({.m = "sub", .c = OpClass::IntAlu, .wr = true}),
+    /* And   */ mk({.m = "and", .c = OpClass::IntAlu, .wr = true}),
+    /* Or    */ mk({.m = "or", .c = OpClass::IntAlu, .wr = true}),
+    /* Xor   */ mk({.m = "xor", .c = OpClass::IntAlu, .wr = true}),
+    /* Sll   */ mk({.m = "sll", .c = OpClass::IntAlu, .wr = true}),
+    /* Srl   */ mk({.m = "srl", .c = OpClass::IntAlu, .wr = true}),
+    /* Sra   */ mk({.m = "sra", .c = OpClass::IntAlu, .wr = true}),
+    /* Cmpeq */ mk({.m = "cmpeq", .c = OpClass::IntAlu, .wr = true}),
+    /* Cmplt */ mk({.m = "cmplt", .c = OpClass::IntAlu, .wr = true}),
+    /* Cmple */ mk({.m = "cmple", .c = OpClass::IntAlu, .wr = true}),
+    /* Mul   */ mk({.m = "mul", .c = OpClass::IntMult, .wr = true}),
+    /* Div   */ mk({.m = "div", .c = OpClass::IntDiv, .wr = true}),
+
+    /* Addi  */ mk({.m = "addi", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Andi  */ mk({.m = "andi", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Ori   */ mk({.m = "ori", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Xori  */ mk({.m = "xori", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Slli  */ mk({.m = "slli", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Srli  */ mk({.m = "srli", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Cmplti*/ mk({.m = "cmplti", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+    /* Lui   */ mk({.m = "lui", .c = OpClass::IntAlu, .imm = true, .wr = true}),
+
+    /* Fadd  */ mk({.m = "fadd", .c = OpClass::FpAdd, .fp = true, .wr = true}),
+    /* Fsub  */ mk({.m = "fsub", .c = OpClass::FpAdd, .fp = true, .wr = true}),
+    /* Fmul  */ mk({.m = "fmul", .c = OpClass::FpMult, .fp = true, .wr = true}),
+    /* Fdiv  */ mk({.m = "fdiv", .c = OpClass::FpDiv, .fp = true, .wr = true}),
+    /* Fsqrt */ mk({.m = "fsqrt", .c = OpClass::FpSqrt, .fp = true, .wr = true}),
+    /* Fcmplt*/ mk({.m = "fcmplt", .c = OpClass::FpAdd, .fp = true, .wr = true}),
+    /* Itof  */ mk({.m = "itof", .c = OpClass::FpAdd, .fp = true, .wr = true}),
+    /* Ftoi  */ mk({.m = "ftoi", .c = OpClass::FpAdd, .fp = true, .wr = true}),
+
+    /* Ldq   */ mk({.m = "ldq", .c = OpClass::Load, .imm = true, .ld = true,
+                    .wr = true}),
+    /* Ldl   */ mk({.m = "ldl", .c = OpClass::Load, .imm = true, .ld = true,
+                    .wr = true}),
+    /* Stq   */ mk({.m = "stq", .c = OpClass::Store, .imm = true, .st = true}),
+    /* Stl   */ mk({.m = "stl", .c = OpClass::Store, .imm = true, .st = true}),
+
+    /* Br    */ mk({.m = "br", .c = OpClass::Branch, .imm = true, .br = true}),
+    /* Beq   */ mk({.m = "beq", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Bne   */ mk({.m = "bne", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Blt   */ mk({.m = "blt", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Bge   */ mk({.m = "bge", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Blbc  */ mk({.m = "blbc", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Blbs  */ mk({.m = "blbs", .c = OpClass::Branch, .imm = true, .br = true,
+                    .cond = true}),
+    /* Jsr   */ mk({.m = "jsr", .c = OpClass::Branch, .br = true, .ind = true,
+                    .call = true, .wr = true}),
+    /* Ret   */ mk({.m = "ret", .c = OpClass::Branch, .br = true, .ind = true,
+                    .ret = true}),
+    /* Jmp   */ mk({.m = "jmp", .c = OpClass::Branch, .br = true, .ind = true}),
+    /* Bsr   */ mk({.m = "bsr", .c = OpClass::Branch, .imm = true, .br = true,
+                    .call = true, .wr = true}),
+
+    /* Ifmov */ mk({.m = "ifmov", .c = OpClass::FpAdd, .fp = true,
+                    .wr = true}),
+    /* Fimov */ mk({.m = "fimov", .c = OpClass::FpAdd, .wr = true}),
+
+    /* Mfpr  */ mk({.m = "mfpr", .c = OpClass::Priv, .imm = true, .priv = true,
+                    .wr = true}),
+    /* Mtpr  */ mk({.m = "mtpr", .c = OpClass::Priv, .imm = true, .priv = true}),
+    /* Tlbwr */ mk({.m = "tlbwr", .c = OpClass::Priv, .priv = true}),
+    /* Rfe   */ mk({.m = "rfe", .c = OpClass::Branch, .br = true, .priv = true}),
+    /* Hardexc */ mk({.m = "hardexc", .c = OpClass::Priv, .priv = true}),
+    /* Emulwr */ mk({.m = "emulwr", .c = OpClass::Priv, .priv = true}),
+};
+
+static_assert(sizeof(infoTable) / sizeof(infoTable[0]) ==
+                  size_t(Opcode::NumOpcodes),
+              "opcode info table out of sync with Opcode enum");
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = size_t(op);
+    panic_if(idx >= size_t(Opcode::NumOpcodes), "bad opcode %zu", idx);
+    return infoTable[idx];
+}
+
+unsigned
+opLatency(OpClass cls)
+{
+    // Latencies per the paper's Table 1.
+    switch (cls) {
+      case OpClass::Nop:     return 1;
+      case OpClass::IntAlu:  return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv:  return 12;
+      case OpClass::FpAdd:   return 2;
+      case OpClass::FpMult:  return 4;
+      case OpClass::FpDiv:   return 12;
+      case OpClass::FpSqrt:  return 26;
+      case OpClass::Load:    return 3;  // load port latency (L1 hit)
+      case OpClass::Store:   return 2;  // store port latency
+      case OpClass::Branch:  return 1;
+      case OpClass::Priv:    return 1;
+      case OpClass::Halt:    return 1;
+    }
+    return 1;
+}
+
+} // namespace zmt::isa

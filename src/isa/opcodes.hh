@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The ZIA instruction set: a compact 64-bit RISC ISA in the style of
+ * the Alpha AXP, sufficient to express the synthetic workloads and the
+ * PALcode DTB-miss handler the paper's evaluation relies on.
+ *
+ * 32-bit fixed-width encoding, Alpha-like:
+ *
+ *   [31:26] opcode (6 bits)
+ *   [25:21] ra     (first source; imm-format destination)
+ *   [20:16] rb     (second source / base register)
+ *   [15:0]  imm    (signed 16-bit immediate/displacement) — imm format
+ *   [15:11] rc     (destination)                      — register format
+ */
+
+#ifndef ZMT_ISA_OPCODES_HH
+#define ZMT_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace zmt::isa
+{
+
+/** Number of architectural integer / floating-point registers. */
+constexpr unsigned NumIntRegs = 32;
+constexpr unsigned NumFpRegs = 32;
+
+/** R31 reads as zero and discards writes, as on Alpha. */
+constexpr unsigned ZeroReg = 31;
+
+/** Privileged (PAL) register file indices, read/written by MFPR/MTPR. */
+enum class PrivReg : uint8_t
+{
+    FaultVa = 0,   //!< virtual address of the faulting access
+    Ptbr = 1,      //!< page-table base (physical) of the faulting ASN
+    TlbTag = 2,    //!< staging: virtual address for the next TLBWR
+    TlbData = 3,   //!< staging: PTE for the next TLBWR
+    FaultAsn = 4,  //!< ASN of the faulting access
+    ExcAddr = 5,   //!< PC of the excepting instruction
+    PteAddr = 6,   //!< hardware-formed PTE address (Alpha VA_FORM)
+    // Generalized mechanism (paper Section 6): emulated instructions.
+    EmulArg = 7,    //!< source operand bits of the emulated instruction
+    EmulResult = 8, //!< result bits staged for EMULWR
+    EmulDest = 9,   //!< destination register number of the faulting inst
+    NumPrivRegs = 10,
+};
+
+/** Operation classes map instructions onto functional-unit pools. */
+enum class OpClass : uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAdd,   //!< FP add/sub/compare/convert
+    FpMult,
+    FpDiv,
+    FpSqrt,
+    Load,
+    Store,
+    Branch,  //!< direct conditional/unconditional, executes on IntAlu port
+    Priv,    //!< MFPR/MTPR/TLBWR/RFE/HARDEXC, executes on IntAlu port
+    Halt,
+};
+
+/** All ZIA opcodes. */
+enum class Opcode : uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // Integer register format: rc <- ra OP rb
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra,
+    Cmpeq, Cmplt, Cmple,
+    Mul, Div,
+
+    // Integer immediate format: ra <- rb OP imm
+    Addi, Andi, Ori, Xori, Slli, Srli, Cmplti,
+    // ra <- imm << 16 (load-upper-immediate)
+    Lui,
+
+    // Floating point register format: fc <- fa OP fb
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fcmplt,
+    // Int <-> FP moves (fa/ra cross files)
+    Itof, Ftoi,
+
+    // Memory: imm format. Ldq: ra <- mem[rb + imm]; Stq: mem[rb+imm] <- ra
+    Ldq, Ldl, Stq, Stl,
+
+    // Control: imm format, displacement in instructions relative to pc+1
+    Br,          //!< unconditional relative
+    Beq, Bne, Blt, Bge, Blbc, Blbs,  //!< conditional on ra
+    Jsr,         //!< call: ra <- return addr, jump to rb
+    Ret,         //!< return: jump to ra
+    Jmp,         //!< indirect jump to ra (computed targets)
+    Bsr,         //!< call relative: ra <- return addr, pc += disp
+
+    // Bit moves between the register files (no value conversion);
+    // PALcode uses them to unpack FP operands of emulated instructions.
+    Ifmov,       //!< fc <- bits of ra
+    Fimov,       //!< rc <- bits of fa
+
+    // Privileged (PAL mode)
+    Mfpr,        //!< ra <- priv[imm]
+    Mtpr,        //!< priv[imm] <- ra
+    Tlbwr,       //!< install {TlbTag -> TlbData} into the DTLB
+    Rfe,         //!< return from exception
+    Hardexc,     //!< request reversion to the traditional trap mechanism
+    Emulwr,      //!< commit the emulated instruction's result (Sec 6)
+
+    NumOpcodes,
+};
+
+/** Static per-opcode metadata. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass opClass;
+    bool isImmFormat;   //!< uses the 16-bit immediate field
+    bool isBranch;      //!< any control transfer
+    bool isConditional; //!< direction depends on register state
+    bool isIndirect;    //!< target comes from a register
+    bool isCall;
+    bool isReturn;
+    bool isLoad;
+    bool isStore;
+    bool isFp;          //!< operates on the FP register file
+    bool isPriv;        //!< legal only in PAL mode
+    bool writesReg;     //!< produces a register result
+};
+
+/** Look up metadata for an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Execution latency (cycles) for an op class, per Table 1. */
+unsigned opLatency(OpClass cls);
+
+} // namespace zmt::isa
+
+#endif // ZMT_ISA_OPCODES_HH

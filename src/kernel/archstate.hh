@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Architectural register state for one hardware context, and the
+ * ExecContext interface through which the shared instruction emulator
+ * reads and writes machine state. Both the functional reference
+ * machine and the timing core implement ExecContext; the instruction
+ * semantics live in exactly one place (emulator.cc).
+ */
+
+#ifndef ZMT_KERNEL_ARCHSTATE_HH
+#define ZMT_KERNEL_ARCHSTATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace zmt
+{
+
+/** Architectural registers of one hardware thread context. */
+struct ArchState
+{
+    std::array<uint64_t, isa::NumIntRegs> intRegs{};
+    std::array<uint64_t, isa::NumFpRegs> fpRegs{}; //!< IEEE-754 bits
+    std::array<uint64_t, size_t(isa::PrivReg::NumPrivRegs)> privRegs{};
+    Addr pc = 0;
+    bool palMode = false; //!< executing privileged handler code
+
+    uint64_t
+    readInt(unsigned reg) const
+    {
+        return reg == isa::ZeroReg ? 0 : intRegs[reg];
+    }
+
+    void
+    writeInt(unsigned reg, uint64_t value)
+    {
+        if (reg != isa::ZeroReg)
+            intRegs[reg] = value;
+    }
+
+    uint64_t
+    readFp(unsigned reg) const
+    {
+        return reg == isa::ZeroReg ? 0 : fpRegs[reg];
+    }
+
+    void
+    writeFp(unsigned reg, uint64_t value)
+    {
+        if (reg != isa::ZeroReg)
+            fpRegs[reg] = value;
+    }
+
+    uint64_t readPriv(isa::PrivReg pr) const { return privRegs[size_t(pr)]; }
+    void writePriv(isa::PrivReg pr, uint64_t v) { privRegs[size_t(pr)] = v; }
+};
+
+/**
+ * Abstract machine-state access used by the emulator. Implementations:
+ * the functional reference machine (FuncMachine) and the timing core's
+ * speculative dispatch-time context.
+ */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    virtual uint64_t readIntReg(unsigned reg) = 0;
+    virtual void writeIntReg(unsigned reg, uint64_t value) = 0;
+    virtual uint64_t readFpReg(unsigned reg) = 0;
+    virtual void writeFpReg(unsigned reg, uint64_t value) = 0;
+
+    virtual uint64_t readPrivReg(isa::PrivReg pr) = 0;
+    virtual void writePrivReg(isa::PrivReg pr, uint64_t value) = 0;
+
+    /** PC of the instruction being executed. */
+    virtual Addr pc() const = 0;
+
+    /**
+     * Memory access. In user mode the address is virtual; in PAL mode
+     * it is physical (KSEG-style direct mapping, as in Alpha PALcode).
+     * Loads of unmapped user addresses return 0 (wrong-path garbage).
+     */
+    virtual uint64_t readMem(Addr addr, unsigned size) = 0;
+    virtual void writeMem(Addr addr, unsigned size, uint64_t value) = 0;
+
+    /** Control transfer: the next PC (only called when taken). */
+    virtual void setNextPc(Addr target) = 0;
+
+    /** Privileged effects. */
+    virtual void tlbWrite(uint64_t tag, uint64_t data) = 0;
+    virtual void returnFromException() = 0;
+    virtual void raiseHardException() = 0;
+    virtual void halt() = 0;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_ARCHSTATE_HH

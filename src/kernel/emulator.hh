@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The single source of truth for ZIA instruction semantics.
+ */
+
+#ifndef ZMT_KERNEL_EMULATOR_HH
+#define ZMT_KERNEL_EMULATOR_HH
+
+#include "isa/inst.hh"
+#include "kernel/archstate.hh"
+
+namespace zmt
+{
+
+/**
+ * Execute one instruction against the given context. The context's
+ * pc() is the instruction's own PC; sequential fallthrough is the
+ * caller's job (only taken control transfers call setNextPc).
+ */
+void executeInst(const isa::DecodedInst &inst, ExecContext &ctx);
+
+/** Effective address of a load/store (reads the base register). */
+Addr effectiveAddr(const isa::DecodedInst &inst, ExecContext &ctx);
+
+/** Access size in bytes for a memory instruction. */
+unsigned memAccessSize(const isa::DecodedInst &inst);
+
+/**
+ * Branch resolution: whether the branch is taken and where it goes.
+ * @return {taken, target}
+ */
+std::pair<bool, Addr>
+branchOutcome(const isa::DecodedInst &inst, ExecContext &ctx);
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_EMULATOR_HH

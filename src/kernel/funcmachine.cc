@@ -1,0 +1,147 @@
+#include "kernel/funcmachine.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+FuncMachine::FuncMachine(Process &proc, PhysMem &mem)
+    : proc(proc), mem(mem), archState(proc.initialState())
+{}
+
+bool
+FuncMachine::step()
+{
+    if (isHalted)
+        return false;
+
+    isa::InstWord word = proc.fetchWord(archState.pc, mem);
+    isa::DecodedInst inst = isa::decode(word);
+    panic_if(!inst.valid(), "functional fetch of invalid word at %#lx",
+             archState.pc);
+    panic_if(inst.info->isPriv && !archState.palMode,
+             "privileged instruction %s in user mode at %#lx",
+             inst.info->mnemonic, archState.pc);
+
+    nextPc = archState.pc + 4;
+    executeInst(inst, *this);
+    archState.pc = nextPc;
+    ++result.instsExecuted;
+    return !isHalted;
+}
+
+ArchResult
+FuncMachine::run(uint64_t max_insts)
+{
+    while (result.instsExecuted < max_insts && step()) {
+    }
+    result.finalState = archState;
+    result.halted = isHalted;
+    return result;
+}
+
+uint64_t
+FuncMachine::readIntReg(unsigned reg)
+{
+    return archState.readInt(reg);
+}
+
+void
+FuncMachine::writeIntReg(unsigned reg, uint64_t value)
+{
+    archState.writeInt(reg, value);
+}
+
+uint64_t
+FuncMachine::readFpReg(unsigned reg)
+{
+    return archState.readFp(reg);
+}
+
+void
+FuncMachine::writeFpReg(unsigned reg, uint64_t value)
+{
+    archState.writeFp(reg, value);
+}
+
+uint64_t
+FuncMachine::readPrivReg(isa::PrivReg pr)
+{
+    return archState.readPriv(pr);
+}
+
+void
+FuncMachine::writePrivReg(isa::PrivReg pr, uint64_t value)
+{
+    archState.writePriv(pr, value);
+}
+
+uint64_t
+FuncMachine::readMem(Addr addr, unsigned size)
+{
+    if (archState.palMode)
+        return mem.read(addr, size);
+    auto pa = proc.space().translate(addr);
+    // Loads of unmapped user addresses return zero; only wild
+    // wrong-path accesses hit this in the timing model, and correct
+    // workloads never do functionally.
+    return pa ? mem.read(*pa, size) : 0;
+}
+
+void
+FuncMachine::writeMem(Addr addr, unsigned size, uint64_t value)
+{
+    if (archState.palMode) {
+        mem.write(addr, size, value);
+        return;
+    }
+    auto pa = proc.space().translate(addr);
+    panic_if(!pa, "functional store to unmapped VA %#lx", addr);
+    mem.write(*pa, size, value);
+    static const bool store_trace =
+        std::getenv("ZMT_STORE_TRACE") != nullptr;
+    if (store_trace) {
+        std::fprintf(stderr, "S t0 pc=%#llx va=%#llx v=%#llx\n",
+                     (unsigned long long)archState.pc,
+                     (unsigned long long)addr,
+                     (unsigned long long)value);
+    }
+    result.noteStore(addr, value);
+}
+
+void
+FuncMachine::setNextPc(Addr target)
+{
+    nextPc = target;
+}
+
+void
+FuncMachine::tlbWrite(uint64_t tag, uint64_t data)
+{
+    // The functional machine has perfect translation; TLB writes are
+    // timing-only effects.
+}
+
+void
+FuncMachine::returnFromException()
+{
+    // Never reached: the functional machine takes no TLB misses.
+    panic("RFE executed on the functional machine");
+}
+
+void
+FuncMachine::raiseHardException()
+{
+    panic("HARDEXC executed on the functional machine");
+}
+
+void
+FuncMachine::halt()
+{
+    isHalted = true;
+}
+
+} // namespace zmt

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The functional reference machine: executes one process with perfect
+ * translation and no timing. Used as the golden model in cross-checks
+ * against the timing core (every mechanism must produce the identical
+ * architectural result) and by workload calibration.
+ */
+
+#ifndef ZMT_KERNEL_FUNCMACHINE_HH
+#define ZMT_KERNEL_FUNCMACHINE_HH
+
+#include <cstdint>
+
+#include "kernel/emulator.hh"
+#include "kernel/process.hh"
+
+namespace zmt
+{
+
+/** Snapshot of the architecturally visible result of a run. */
+struct ArchResult
+{
+    uint64_t instsExecuted = 0;
+    ArchState finalState;
+    /** FNV-1a hash of all retired store (addr,value) pairs, in order. */
+    uint64_t storeHash = 0xcbf29ce484222325ULL;
+    bool halted = false;
+
+    /** Fold one store into the running hash. */
+    void
+    noteStore(Addr va, uint64_t value)
+    {
+        auto mix = [this](uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+                storeHash ^= (v >> (8 * i)) & 0xff;
+                storeHash *= 0x100000001b3ULL;
+            }
+        };
+        mix(va);
+        mix(value);
+    }
+};
+
+/** Functional interpreter for one process. */
+class FuncMachine : public ExecContext
+{
+  public:
+    FuncMachine(Process &proc, PhysMem &mem);
+
+    /**
+     * Run up to max_insts instructions (or until HALT).
+     * @return what happened, architecturally
+     */
+    ArchResult run(uint64_t max_insts);
+
+    /** Execute a single instruction. @return false once halted. */
+    bool step();
+
+    const ArchState &state() const { return archState; }
+    ArchState &state() { return archState; }
+    bool halted() const { return isHalted; }
+    uint64_t executed() const { return result.instsExecuted; }
+
+    // ExecContext interface ------------------------------------------
+    uint64_t readIntReg(unsigned reg) override;
+    void writeIntReg(unsigned reg, uint64_t value) override;
+    uint64_t readFpReg(unsigned reg) override;
+    void writeFpReg(unsigned reg, uint64_t value) override;
+    uint64_t readPrivReg(isa::PrivReg pr) override;
+    void writePrivReg(isa::PrivReg pr, uint64_t value) override;
+    Addr pc() const override { return archState.pc; }
+    uint64_t readMem(Addr addr, unsigned size) override;
+    void writeMem(Addr addr, unsigned size, uint64_t value) override;
+    void setNextPc(Addr target) override;
+    void tlbWrite(uint64_t tag, uint64_t data) override;
+    void returnFromException() override;
+    void raiseHardException() override;
+    void halt() override;
+
+  private:
+    Process &proc;
+    PhysMem &mem;
+    ArchState archState;
+    ArchResult result;
+    Addr nextPc = 0;
+    bool isHalted = false;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_FUNCMACHINE_HH

@@ -1,0 +1,53 @@
+#include "kernel/pagetable.hh"
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+AddressSpace::AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
+                           Addr va_limit)
+    : _asn(asn), mem(mem), frames(frames), _vaLimit(va_limit)
+{
+    fatal_if(va_limit == 0, "empty address space");
+    // The linear table needs one 8-byte PTE per virtual page. Allocate
+    // it contiguously so handler address arithmetic is a single add.
+    size_t num_ptes = size_t(pageNum(va_limit + PageBytes - 1));
+    size_t table_bytes = num_ptes * 8;
+    size_t table_pages = (table_bytes + PageBytes - 1) / PageBytes;
+    _ptbr = frames.allocContiguous(table_pages);
+    // PhysMem zero-fills lazily, so all PTEs start invalid.
+}
+
+void
+AddressSpace::mapPage(Addr va)
+{
+    panic_if(va >= _vaLimit, "mapPage beyond va_limit: %#lx", va);
+    Addr pte_pa = pteAddr(va);
+    uint64_t pte = mem.read64(pte_pa);
+    if (Pte::valid(pte))
+        return;
+    Addr frame = frames.alloc();
+    mem.write64(pte_pa, Pte::make(frame));
+    ++_mappedPages;
+}
+
+void
+AddressSpace::mapRange(Addr start, Addr len)
+{
+    for (Addr va = pageBase(start); va < start + len; va += PageBytes)
+        mapPage(va);
+}
+
+std::optional<Addr>
+AddressSpace::translate(Addr va) const
+{
+    if (va >= _vaLimit)
+        return std::nullopt;
+    uint64_t pte = mem.read64(pteAddr(va));
+    if (!Pte::valid(pte))
+        return std::nullopt;
+    return Pte::framePa(pte) | (va & PageMask);
+}
+
+} // namespace zmt

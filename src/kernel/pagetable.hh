@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-address-space linear page tables, stored *inside* simulated
+ * physical memory so that page-table entries compete for cache space
+ * like ordinary data — exactly as in the paper's simulator.
+ *
+ * PTE format (64-bit):
+ *   bit 0         valid
+ *   bits [63:13]  physical frame base (pfn << PageBits)
+ */
+
+#ifndef ZMT_KERNEL_PAGETABLE_HH
+#define ZMT_KERNEL_PAGETABLE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "kernel/physmem.hh"
+
+namespace zmt
+{
+
+/** Simple bump allocator for physical frames. */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(Addr first_frame_pa = 0x100000)
+        : nextPa(first_frame_pa)
+    {}
+
+    /** Allocate one physical frame; returns its base address. */
+    Addr
+    alloc()
+    {
+        Addr pa = nextPa;
+        nextPa += PageBytes;
+        return pa;
+    }
+
+    /** Allocate n contiguous frames; returns base of the first. */
+    Addr
+    allocContiguous(size_t n)
+    {
+        Addr pa = nextPa;
+        nextPa += n * PageBytes;
+        return pa;
+    }
+
+    Addr allocated() const { return nextPa; }
+
+  private:
+    Addr nextPa;
+};
+
+/** PTE encode/decode helpers. */
+struct Pte
+{
+    static constexpr uint64_t ValidBit = 1;
+
+    static uint64_t make(Addr frame_pa) { return pageBase(frame_pa) | ValidBit; }
+    static bool valid(uint64_t pte) { return pte & ValidBit; }
+    static Addr framePa(uint64_t pte) { return pageBase(pte); }
+};
+
+/**
+ * A virtual address space: linear page table resident in physical
+ * memory, plus functional translation used by the (oracle) emulator.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param asn       address-space number (tags TLB entries)
+     * @param mem       backing physical memory
+     * @param frames    frame allocator shared by all spaces
+     * @param va_limit  size of the virtual region covered by the table
+     */
+    AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
+                 Addr va_limit);
+
+    Asn asn() const { return _asn; }
+
+    /** Physical base address of the linear page table. */
+    Addr ptbr() const { return _ptbr; }
+
+    /** Highest mappable VA + 1. */
+    Addr vaLimit() const { return _vaLimit; }
+
+    /** Physical address of the PTE covering va (what the handler loads). */
+    Addr pteAddr(Addr va) const { return _ptbr + pageNum(va) * 8; }
+
+    /** Map the page containing va to a fresh frame (idempotent). */
+    void mapPage(Addr va);
+
+    /** Map a VA range [start, start+len). */
+    void mapRange(Addr start, Addr len);
+
+    /**
+     * Functional (oracle) translation: the timing model uses the TLB
+     * for timing, but correctness always consults the page table.
+     * @return physical address, or nullopt for an unmapped page.
+     */
+    std::optional<Addr> translate(Addr va) const;
+
+    /** Whether the page containing va is mapped. */
+    bool mapped(Addr va) const { return translate(va).has_value(); }
+
+    /** Number of mapped pages. */
+    size_t mappedPages() const { return _mappedPages; }
+
+  private:
+    Asn _asn;
+    PhysMem &mem;
+    FrameAllocator &frames;
+    Addr _vaLimit;
+    Addr _ptbr;
+    size_t _mappedPages = 0;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_PAGETABLE_HH

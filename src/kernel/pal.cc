@@ -1,0 +1,82 @@
+#include "kernel/pal.hh"
+
+#include "common/types.hh"
+
+namespace zmt
+{
+
+PalCode
+buildPalCode()
+{
+    using isa::PrivReg;
+    isa::Assembler a;
+
+    // DTB miss handler, shaped like the 21164 PAL DTBMISS_SINGLE flow:
+    // the hardware forms the PTE address (VA_FORM -> PteAddr), so the
+    // critical chain is short — mfpr, the PTE load, the validity
+    // branch, the TLB write — while bookkeeping work (tag forming,
+    // flag checks, a fault counter in a PAL scratch register) fills
+    // the handler out to the "tens of instructions" class the paper
+    // describes without lengthening the chain. r1..r12 are PAL shadow
+    // temporaries; no user state is disturbed (paper Section 4.2).
+    a.label("dtbmiss");
+    a.mfpr(1, PrivReg::PteAddr);          //  1: &PTE (hardware-formed)
+    a.ldq(2, 1, 0);                       //  2: load PTE  ** memory **
+    a.mfpr(3, PrivReg::FaultVa);          //  3: (parallel)
+    a.mfpr(4, PrivReg::FaultAsn);         //  4: (parallel)
+    a.mfpr(5, PrivReg::ExcAddr);          //  5: (parallel)
+    a.srli(6, 3, int16_t(PageBits));      //  6: vpn (tag forming)
+    a.slli(7, 4, 1);                      //  7: asn field
+    a.or_(6, 7, 8);                       //  8: tag | asn
+    a.addi(12, 12, 1);                    //  9: PAL fault counter
+    a.andi(9, 2, 0xff);                   // 10: flag bits
+    a.xor_(8, 9, 10);                     // 11: bookkeeping mix
+    a.blbc(2, "pagefault");               // 12: invalid -> page fault
+    a.mtpr(2, PrivReg::TlbData);          // 13
+    a.mtpr(3, PrivReg::TlbTag);           // 14
+    a.slli(10, 5, 0);                     // 15: bookkeeping
+    a.tlbwr();                            // 16
+    a.rfe();                              // 17
+
+    a.label("pagefault");
+    a.hardexc();
+    a.rfe();
+
+    // FSQRT emulation handler (the paper's Section 6 generalized
+    // mechanism: an exception handler that reads the excepting
+    // instruction's source operand and writes its destination). The
+    // hardware stages the operand bits in EmulArg and the destination
+    // register number in EmulDest; the handler unpacks the operand,
+    // runs four Newton-Raphson iterations — the *timing* cost of
+    // software emulation — and EMULWR commits the result. (The
+    // committed value is the architecturally exact one staged by the
+    // exception hardware; propagating the Newton approximation would
+    // create ulp-level divergence from the IEEE reference, see
+    // DESIGN.md.)
+    a.label("emul_fsqrt");
+    a.mfpr(1, PrivReg::EmulArg);     //  1: operand bits
+    a.ifmov(1, 1);                   //  2: f1 = a
+    a.ifmov(1, 2);                   //  3: f2 = x0 = a
+    a.li(2, 0x3fe0000000000000ULL);  //  4,5: bits of 0.5
+    a.ifmov(2, 3);                   //  6: f3 = 0.5
+    for (int iter = 0; iter < 4; ++iter) {
+        a.fdiv(1, 2, 4);             // f4 = a / x
+        a.fadd(2, 4, 2);             // x = x + a/x
+        a.fmul(2, 3, 2);             // x = 0.5 * (x + a/x)
+    }
+    a.fimov(2, 3);                   // r3 = computed bits (bookkeeping)
+    a.mtpr(3, PrivReg::EmulResult);  // staged result (see note above)
+    a.emulwr();                      // commit to the destination reg
+    a.rfe();
+
+    PalCode pal;
+    pal.prog = a.assemble(PalBase);
+    pal.dtbMissEntry = pal.prog.labelAddr("dtbmiss");
+    pal.dtbMissLen = 17;
+    pal.emulFsqrtEntry = pal.prog.labelAddr("emul_fsqrt");
+    pal.emulFsqrtLen = unsigned(
+        (pal.prog.end() - pal.emulFsqrtEntry) / 4);
+    return pal;
+}
+
+} // namespace zmt

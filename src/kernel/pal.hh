@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PALcode: the software DTB-miss handler, written in ZIA.
+ *
+ * Mirrors the structure of the 21164 PAL DTBMISS_SINGLE flow the paper
+ * simulates: read the faulting VA and the page-table base from
+ * privileged registers, index the linear page table, load the PTE (the
+ * one memory access that matters), check validity, massage the entry,
+ * write the TLB, and return from the exception. The invalid-PTE path
+ * raises a *hard exception*, requesting reversion to the traditional
+ * trap mechanism (paper Section 4.3).
+ *
+ * PAL code lives in physical memory below the frame-allocation region
+ * and executes in PAL mode, where addresses are physical.
+ */
+
+#ifndef ZMT_KERNEL_PAL_HH
+#define ZMT_KERNEL_PAL_HH
+
+#include "isa/assembler.hh"
+
+namespace zmt
+{
+
+/** Physical base address of the PAL image. */
+constexpr Addr PalBase = 0x2000;
+
+/** Assembled PAL image plus metadata the hardware predicts. */
+struct PalCode
+{
+    isa::Program prog;
+
+    /** Entry point of the DTB miss handler. */
+    Addr dtbMissEntry = 0;
+
+    /**
+     * Length (instructions) of the common-case handler path. The
+     * hardware's handler-length predictor is perfect under the paper's
+     * common-case assumption (Table 1), so this is also the window
+     * reservation size and the fetch-stop point.
+     */
+    unsigned dtbMissLen = 0;
+
+    /**
+     * The generalized mechanism (paper Section 6): the FSQRT-emulation
+     * handler. It reads the faulting instruction's source operand from
+     * a privileged register, runs Newton-Raphson iterations, and
+     * commits the result to the destination register with EMULWR.
+     */
+    Addr emulFsqrtEntry = 0;
+    unsigned emulFsqrtLen = 0;
+};
+
+/** Build the PAL image. */
+PalCode buildPalCode();
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_PAL_HH

@@ -1,0 +1,54 @@
+#include "kernel/physmem.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+uint8_t *
+PhysMem::pageFor(Addr pa)
+{
+    auto ppn = pageNum(pa);
+    auto it = pages.find(ppn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<uint8_t[]>(PageBytes);
+        std::memset(page.get(), 0, PageBytes);
+        it = pages.emplace(ppn, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+const uint8_t *
+PhysMem::pageForConst(Addr pa) const
+{
+    auto it = pages.find(pageNum(pa));
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+PhysMem::read(Addr pa, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "bad access size %u", size);
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr byte_pa = pa + i;
+        const uint8_t *page = pageForConst(byte_pa);
+        uint8_t b = page ? page[byte_pa & PageMask] : 0;
+        value |= uint64_t(b) << (8 * i);
+    }
+    return value;
+}
+
+void
+PhysMem::write(Addr pa, unsigned size, uint64_t value)
+{
+    panic_if(size == 0 || size > 8, "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i) {
+        Addr byte_pa = pa + i;
+        pageFor(byte_pa)[byte_pa & PageMask] = uint8_t(value >> (8 * i));
+    }
+}
+
+} // namespace zmt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse simulated physical memory.
+ *
+ * Backing pages are allocated lazily on first touch, so multi-gigabyte
+ * physical address spaces cost only what is actually used. All accesses
+ * are little-endian and may span page boundaries.
+ */
+
+#ifndef ZMT_KERNEL_PHYSMEM_HH
+#define ZMT_KERNEL_PHYSMEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace zmt
+{
+
+/** Byte-addressable sparse physical memory. */
+class PhysMem
+{
+  public:
+    PhysMem() = default;
+
+    PhysMem(const PhysMem &) = delete;
+    PhysMem &operator=(const PhysMem &) = delete;
+
+    /** Read size bytes (1-8) at pa, zero-extended. */
+    uint64_t read(Addr pa, unsigned size) const;
+
+    /** Write the low size bytes (1-8) of value at pa. */
+    void write(Addr pa, unsigned size, uint64_t value);
+
+    uint64_t read64(Addr pa) const { return read(pa, 8); }
+    uint32_t read32(Addr pa) const { return uint32_t(read(pa, 4)); }
+    void write64(Addr pa, uint64_t v) { write(pa, 8, v); }
+    void write32(Addr pa, uint32_t v) { write(pa, 4, v); }
+
+    /** Number of backing pages materialized so far. */
+    size_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    uint8_t *pageFor(Addr pa);
+    const uint8_t *pageForConst(Addr pa) const;
+
+    // Backing store, keyed by physical page number. mutable-free: reads
+    // of untouched memory return zero without materializing a page.
+    std::unordered_map<Addr, std::unique_ptr<uint8_t[]>> pages;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_PHYSMEM_HH

@@ -1,0 +1,64 @@
+#include "kernel/process.hh"
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+Process::Process(const ProcessImage &image, Asn asn, PhysMem &mem,
+                 FrameAllocator &frames)
+    : _entry(image.text.entry()),
+      initInt(image.initIntRegs),
+      initFp(image.initFpRegs)
+{
+    Addr va_limit = image.vaLimit;
+    fatal_if(va_limit < image.text.end(),
+             "vaLimit %#lx does not cover the text segment", va_limit);
+    _space = std::make_unique<AddressSpace>(asn, mem, frames, va_limit);
+
+    // Map and write the text segment.
+    _space->mapRange(image.text.base, image.text.size() * 4);
+    for (size_t i = 0; i < image.text.size(); ++i) {
+        Addr va = image.text.base + i * 4;
+        auto pa = _space->translate(va);
+        panic_if(!pa, "text page unmapped after mapRange");
+        mem.write32(*pa, image.text.words[i]);
+    }
+
+    // Pre-map requested data ranges.
+    for (const auto &[start, len] : image.mapRanges)
+        _space->mapRange(start, len);
+
+    // Initialize data words.
+    for (const auto &[va, value] : image.dataWords) {
+        fatal_if(va % 8 != 0, "unaligned data word at %#lx", va);
+        _space->mapPage(va);
+        auto pa = _space->translate(va);
+        panic_if(!pa, "data page unmapped after mapPage");
+        mem.write64(*pa, value);
+    }
+}
+
+ArchState
+Process::initialState() const
+{
+    ArchState state;
+    state.intRegs = initInt;
+    state.fpRegs = initFp;
+    state.pc = _entry;
+    state.palMode = false;
+    state.writePriv(isa::PrivReg::Ptbr, _space->ptbr());
+    state.writePriv(isa::PrivReg::FaultAsn, asn());
+    return state;
+}
+
+isa::InstWord
+Process::fetchWord(Addr pc, const PhysMem &mem) const
+{
+    auto pa = _space->translate(pc);
+    if (!pa)
+        return 0;
+    return mem.read32(*pa);
+}
+
+} // namespace zmt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Process images and the loader: turns an assembled program plus data
+ * segments into a live address space inside simulated physical memory.
+ */
+
+#ifndef ZMT_KERNEL_PROCESS_HH
+#define ZMT_KERNEL_PROCESS_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "kernel/pagetable.hh"
+#include "kernel/archstate.hh"
+
+namespace zmt
+{
+
+/** Everything needed to instantiate one process. */
+struct ProcessImage
+{
+    isa::Program text;
+
+    /** Highest VA + 1 the page table must cover. */
+    Addr vaLimit = 0;
+
+    /** Pre-initialized 64-bit data words (va must be 8-byte aligned). */
+    std::vector<std::pair<Addr, uint64_t>> dataWords;
+
+    /** VA ranges to pre-map (start, length). Text is always mapped. */
+    std::vector<std::pair<Addr, Addr>> mapRanges;
+
+    /** Initial integer register values. */
+    std::array<uint64_t, isa::NumIntRegs> initIntRegs{};
+
+    /** Initial FP register values (bit patterns). */
+    std::array<uint64_t, isa::NumFpRegs> initFpRegs{};
+};
+
+/** A loaded process: address space + initial architectural state. */
+class Process
+{
+  public:
+    /**
+     * Load the image: allocate the page table, map and fill text and
+     * data, and capture the initial register state.
+     */
+    Process(const ProcessImage &image, Asn asn, PhysMem &mem,
+            FrameAllocator &frames);
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    const AddressSpace &space() const { return *_space; }
+    AddressSpace &space() { return *_space; }
+    Asn asn() const { return _space->asn(); }
+    Addr entry() const { return _entry; }
+
+    /** Initial architectural state (pc at entry, registers preset). */
+    ArchState initialState() const;
+
+    /**
+     * Fetch one instruction word at a virtual PC (perfect ITLB: the
+     * oracle translation is used; timing is modeled separately).
+     * Unmapped PCs return 0 (decodes as Nop) — only reachable on wild
+     * wrong paths.
+     */
+    isa::InstWord fetchWord(Addr pc, const PhysMem &mem) const;
+
+  private:
+    std::unique_ptr<AddressSpace> _space;
+    Addr _entry;
+    std::array<uint64_t, isa::NumIntRegs> initInt;
+    std::array<uint64_t, isa::NumFpRegs> initFp;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_PROCESS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A simple occupancy-modeled bus: transfers serialize, each holding
+ * the bus for a fixed number of cycles (Table 1: the L1/L2 bus is
+ * occupied 2 cycles per 32 B block, the L2/memory bus 11 cycles per
+ * transfer).
+ */
+
+#ifndef ZMT_MEM_BUS_HH
+#define ZMT_MEM_BUS_HH
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace zmt
+{
+
+/** Serializing bus with fixed per-transfer occupancy. */
+class Bus : public stats::StatGroup
+{
+  public:
+    Bus(std::string name, unsigned cycles_per_transfer,
+        stats::StatGroup *parent)
+        : stats::StatGroup(std::move(name), parent),
+          transfers(this, "transfers", "bus transfers"),
+          waitCycles(this, "waitCycles", "cycles spent queued for the bus"),
+          occupancy(cycles_per_transfer)
+    {}
+
+    /**
+     * Acquire the bus no earlier than @p earliest.
+     * @return the cycle the transfer *completes*
+     */
+    Cycle
+    acquire(Cycle earliest)
+    {
+        Cycle start = earliest > freeAt ? earliest : freeAt;
+        waitCycles += double(start - earliest);
+        freeAt = start + occupancy;
+        ++transfers;
+        return freeAt;
+    }
+
+    Cycle freeAtCycle() const { return freeAt; }
+
+    /** Forget queued occupancy (checkpoint-restore / warm-up settle). */
+    void resetTiming() { freeAt = 0; }
+
+    stats::Scalar transfers;
+    stats::Scalar waitCycles;
+
+  private:
+    unsigned occupancy;
+    Cycle freeAt = 0;
+};
+
+} // namespace zmt
+
+#endif // ZMT_MEM_BUS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Set-associative write-back write-allocate cache with LRU replacement
+ * and MSHR-style miss tracking, modeled in latency-oracle style: an
+ * access returns the cycle its data is available, accounting for bus
+ * occupancy, next-level latency, and merging into outstanding misses.
+ * This matches the granularity of the paper's SimpleScalar-derived
+ * model (no writeback-port modeling, unlimited fill bandwidth).
+ */
+
+#ifndef ZMT_MEM_CACHE_HH
+#define ZMT_MEM_CACHE_HH
+
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/bus.hh"
+#include "stats/stats.hh"
+
+namespace zmt
+{
+
+/** One level of the hierarchy. */
+class Cache : public stats::StatGroup
+{
+  public:
+    /**
+     * @param name        stat name
+     * @param size_kb     total capacity
+     * @param assoc       associativity
+     * @param line_bytes  block size
+     * @param hit_extra   cycles added on a hit beyond the port latency
+     * @param fill_extra  cycles from next-level data to ready (fill)
+     * @param max_misses  outstanding-miss limit (0 = unlimited)
+     * @param bus         bus toward the next level (nullptr for none)
+     * @param next        next cache level (nullptr: bus leads to memory)
+     * @param mem_latency memory latency when next == nullptr
+     */
+    Cache(std::string name, unsigned size_kb, unsigned assoc,
+          unsigned line_bytes, unsigned hit_extra, unsigned fill_extra,
+          unsigned max_misses, Bus *bus, Cache *next, unsigned mem_latency,
+          stats::StatGroup *parent);
+
+    /**
+     * Access the block containing pa.
+     * @param pa       physical address
+     * @param is_write store (marks the block dirty)
+     * @param now      cycle the access starts
+     * @return cycle the data is available
+     */
+    Cycle access(Addr pa, bool is_write, Cycle now);
+
+    /** Probe without side effects: would this access hit right now? */
+    bool wouldHit(Addr pa) const;
+
+    /** Invalidate everything (used by tests). */
+    void flush();
+
+    /**
+     * Drop in-flight miss timing but keep contents: used after warm-up
+     * so pre-loaded lines behave as long-resident (checkpoint style).
+     */
+    void settleTiming() { outstanding.clear(); }
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar writebacks;
+    stats::Scalar mshrMerges;
+    stats::Scalar mshrFullStalls;
+    stats::Formula missRate;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0; //!< LRU timestamp
+    };
+
+    Addr blockAddr(Addr pa) const { return pa / lineBytes; }
+    size_t setIndex(Addr block) const { return size_t(block % numSets); }
+
+    /** Handle a miss: allocate, possibly write back, fetch from below. */
+    Cycle handleMiss(Addr block, bool is_write, Cycle now);
+
+    unsigned lineBytes;
+    unsigned assoc;
+    size_t numSets;
+    unsigned hitExtra;
+    unsigned fillExtra;
+    unsigned maxMisses;
+    Bus *bus;
+    Cache *next;
+    unsigned memLatency;
+
+    std::vector<Line> lines; //!< numSets * assoc, set-major
+    uint64_t useCounter = 0;
+
+    /** Outstanding misses: block -> data-ready cycle. */
+    std::map<Addr, Cycle> outstanding;
+};
+
+} // namespace zmt
+
+#endif // ZMT_MEM_CACHE_HH

@@ -1,0 +1,40 @@
+#include "mem/hierarchy.hh"
+
+namespace zmt
+{
+
+MemHierarchy::MemHierarchy(const MemParams &params,
+                           stats::StatGroup *parent)
+    : stats::StatGroup("mem", parent)
+{
+    l1l2Bus = std::make_unique<Bus>("l1l2Bus",
+                                    params.l1l2BusCyclesPerBlock, this);
+    l2MemBus = std::make_unique<Bus>("l2MemBus", params.l2MemBusCycles,
+                                     this);
+
+    // L2: the 6-cycle latency is the tag+data lookup, paid on hits and
+    // on the miss-detect path alike; fills add one cycle.
+    l2 = std::make_unique<Cache>("l2", params.l2SizeKb, params.l2Assoc,
+                                 params.l2LineBytes,
+                                 /*hit_extra=*/params.l2Latency,
+                                 /*fill_extra=*/1,
+                                 params.maxOutstandingMisses,
+                                 l2MemBus.get(), /*next=*/nullptr,
+                                 params.memLatency, this);
+
+    // L1s: hit latency is folded into the load-port latency (3 cycles,
+    // Table 1), so hits add nothing here; fills add one cycle.
+    l1i = std::make_unique<Cache>("l1i", params.l1iSizeKb, params.l1iAssoc,
+                                  params.l1iLineBytes, /*hit_extra=*/0,
+                                  /*fill_extra=*/1,
+                                  params.maxOutstandingMisses,
+                                  l1l2Bus.get(), l2.get(), 0, this);
+
+    l1d = std::make_unique<Cache>("l1d", params.l1dSizeKb, params.l1dAssoc,
+                                  params.l1dLineBytes, /*hit_extra=*/0,
+                                  /*fill_extra=*/1,
+                                  params.maxOutstandingMisses,
+                                  l1l2Bus.get(), l2.get(), 0, this);
+}
+
+} // namespace zmt

@@ -1,0 +1,77 @@
+#include "sim/experiment.hh"
+
+#include <map>
+#include <sstream>
+
+namespace zmt
+{
+
+namespace
+{
+
+std::string
+baselineKey(const SimParams &params,
+            const std::vector<std::string> &benchmarks)
+{
+    std::ostringstream os;
+    for (const auto &bench : benchmarks)
+        os << bench << "+";
+    os << "w" << params.core.width << ".win" << params.core.windowSize
+       << ".fd" << params.core.frontendDepth() << ".n" << params.maxInsts << ".wu" << params.warmupInsts
+       << ".s" << params.seed << ".tlb" << params.tlb.dtlbEntries;
+    return os.str();
+}
+
+std::map<std::string, CoreResult> &
+baselineCache()
+{
+    static std::map<std::string, CoreResult> cache;
+    return cache;
+}
+
+} // anonymous namespace
+
+PenaltyResult
+measurePenalty(const SimParams &params,
+               const std::vector<std::string> &benchmarks)
+{
+    PenaltyResult result;
+    result.mech = runSimulation(params, benchmarks);
+
+    SimParams perfect = params;
+    perfect.except.mech = ExceptMech::PerfectTlb;
+    const std::string key = baselineKey(perfect, benchmarks);
+    auto &cache = baselineCache();
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runSimulation(perfect, benchmarks)).first;
+    result.perfect = it->second;
+    return result;
+}
+
+void
+clearBaselineCache()
+{
+    baselineCache().clear();
+}
+
+const std::vector<std::vector<std::string>> &
+figure7Mixes()
+{
+    // The eight mixes of Figure 7, by the paper's short names:
+    // adm-gcc-vor, apl-cmp-h2d, apl-dbl-vor, dbl-gcc-h2d,
+    // adm-cmp-vor, adm-h2d-mph, apl-dbl-mph, cmp-gcc-mph.
+    static const std::vector<std::vector<std::string>> mixes = {
+        {"alphadoom", "gcc", "vortex"},
+        {"applu", "compress", "hydro2d"},
+        {"applu", "deltablue", "vortex"},
+        {"deltablue", "gcc", "hydro2d"},
+        {"alphadoom", "compress", "vortex"},
+        {"alphadoom", "hydro2d", "murphi"},
+        {"applu", "deltablue", "murphi"},
+        {"compress", "gcc", "murphi"},
+    };
+    return mixes;
+}
+
+} // namespace zmt

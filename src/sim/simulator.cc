@@ -1,0 +1,94 @@
+#include "sim/simulator.hh"
+
+#include <malloc.h>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+namespace
+{
+
+/**
+ * The simulator allocates and frees millions of small objects
+ * (dynamic instructions, completion events); with default glibc
+ * settings the heap is repeatedly trimmed and re-faulted between
+ * runs, costing far more system time than the simulation itself.
+ * Raise the trim/mmap thresholds once per process.
+ */
+void
+tuneAllocatorOnce()
+{
+    static const bool done = [] {
+#ifdef M_TRIM_THRESHOLD
+        mallopt(M_TRIM_THRESHOLD, 512 * 1024 * 1024);
+        mallopt(M_MMAP_THRESHOLD, 512 * 1024 * 1024);
+#endif
+        return true;
+    }();
+    (void)done;
+}
+
+} // anonymous namespace
+
+Simulator::Simulator(const SimParams &params,
+                     const std::vector<WorkloadParams> &workloads)
+{
+    build(params, workloads);
+}
+
+Simulator::Simulator(const SimParams &params,
+                     const std::vector<std::string> &benchmarks)
+{
+    std::vector<WorkloadParams> workloads;
+    workloads.reserve(benchmarks.size());
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        WorkloadParams wp = benchmarkParams(benchmarks[i]);
+        // Distinct seeds when the same benchmark appears twice in a mix.
+        wp.seed ^= uint64_t(i) * 0x2545f4914f6cdd1dULL;
+        workloads.push_back(wp);
+    }
+    build(params, workloads);
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::build(const SimParams &params,
+                 const std::vector<WorkloadParams> &workloads)
+{
+    tuneAllocatorOnce();
+    fatal_if(workloads.empty(), "no workloads given");
+
+    // PAL image lives in physical memory below the frame region.
+    pal = buildPalCode();
+    for (size_t i = 0; i < pal.prog.size(); ++i)
+        physMem.write32(pal.prog.base + i * 4, pal.prog.words[i]);
+
+    std::vector<Process *> raw;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        ProcessImage image = buildWorkload(workloads[i]);
+        procs.push_back(std::make_unique<Process>(image, Asn(i + 1),
+                                                  physMem, frames));
+        raw.push_back(procs.back().get());
+    }
+
+    _core = std::make_unique<SmtCore>(params, raw, physMem, pal, &root);
+}
+
+CoreResult
+Simulator::run()
+{
+    return _core->run();
+}
+
+CoreResult
+runSimulation(const SimParams &params,
+              const std::vector<std::string> &benchmarks)
+{
+    Simulator sim(params, benchmarks);
+    return sim.run();
+}
+
+} // namespace zmt

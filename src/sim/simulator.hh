@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The top-level simulation facade: builds a complete system (physical
+ * memory, PALcode, processes, SMT core) from parameters and workload
+ * names, runs it, and exposes the results — the public entry point
+ * used by examples, benches and integration tests.
+ */
+
+#ifndef ZMT_SIM_SIMULATOR_HH
+#define ZMT_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "wload/workload.hh"
+
+namespace zmt
+{
+
+/** A fully constructed simulated system. */
+class Simulator
+{
+  public:
+    /**
+     * Build the system: PAL image in physical memory, one process per
+     * workload, and the configured core.
+     */
+    Simulator(const SimParams &params,
+              const std::vector<WorkloadParams> &workloads);
+
+    /** Convenience: build from benchmark names. */
+    Simulator(const SimParams &params,
+              const std::vector<std::string> &benchmarks);
+
+    ~Simulator();
+
+    /** Run to completion (params.maxInsts retired user instructions). */
+    CoreResult run();
+
+    SmtCore &core() { return *_core; }
+    PhysMem &mem() { return physMem; }
+    Process &process(unsigned i) { return *procs.at(i); }
+    unsigned numProcesses() const { return unsigned(procs.size()); }
+    const PalCode &palCode() const { return pal; }
+
+    /** Dump all statistics as text. */
+    void dumpStats(std::ostream &os) const { root.dump(os); }
+
+    /** Root of the stats tree (for find()). */
+    const stats::StatGroup &statsRoot() const { return root; }
+
+  private:
+    void build(const SimParams &params,
+               const std::vector<WorkloadParams> &workloads);
+
+    stats::StatGroup root{"sim"};
+    PhysMem physMem;
+    FrameAllocator frames;
+    PalCode pal;
+    std::vector<std::unique_ptr<Process>> procs;
+    std::unique_ptr<SmtCore> _core;
+};
+
+/**
+ * One-shot helper: build, run, return the result.
+ */
+CoreResult runSimulation(const SimParams &params,
+                         const std::vector<std::string> &benchmarks);
+
+} // namespace zmt
+
+#endif // ZMT_SIM_SIMULATOR_HH

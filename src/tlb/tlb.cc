@@ -1,0 +1,88 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+Tlb::Tlb(unsigned num_entries, stats::StatGroup *parent)
+    : stats::StatGroup("dtlb", parent),
+      hits(this, "hits", "lookups that hit"),
+      misses(this, "misses", "lookups that missed"),
+      fills(this, "fills", "translations installed"),
+      evictions(this, "evictions", "valid entries evicted"),
+      entries(num_entries)
+{
+    fatal_if(num_entries == 0, "zero-entry TLB");
+}
+
+bool
+Tlb::lookup(Asn asn, Addr va)
+{
+    Addr vpn = pageNum(va);
+    ++useCounter;
+    for (auto &entry : entries) {
+        if (entry.valid && entry.asn == asn && entry.vpn == vpn) {
+            entry.lastUse = useCounter;
+            ++hits;
+            return true;
+        }
+    }
+    ++misses;
+    return false;
+}
+
+bool
+Tlb::contains(Asn asn, Addr va) const
+{
+    Addr vpn = pageNum(va);
+    for (const auto &entry : entries)
+        if (entry.valid && entry.asn == asn && entry.vpn == vpn)
+            return true;
+    return false;
+}
+
+void
+Tlb::insert(Asn asn, Addr va)
+{
+    Addr vpn = pageNum(va);
+    ++useCounter;
+    ++fills;
+
+    Entry *victim = &entries[0];
+    for (auto &entry : entries) {
+        if (entry.valid && entry.asn == asn && entry.vpn == vpn) {
+            entry.lastUse = useCounter; // refresh duplicate fill
+            return;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+    if (victim->valid)
+        ++evictions;
+    victim->valid = true;
+    victim->asn = asn;
+    victim->vpn = vpn;
+    victim->lastUse = useCounter;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &entry : entries)
+        entry.valid = false;
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &entry : entries)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace zmt

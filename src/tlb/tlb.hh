@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The data TLB: 64 entries (Table 1), fully associative, true-LRU,
+ * ASN-tagged so multiple address spaces coexist (SMT mixes). Purely a
+ * timing structure — functional translation always consults the page
+ * table — so speculative fills and pollution are harmless to
+ * correctness, exactly as in the paper's simulator.
+ */
+
+#ifndef ZMT_TLB_TLB_HH
+#define ZMT_TLB_TLB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace zmt
+{
+
+/** Data translation lookaside buffer. */
+class Tlb : public stats::StatGroup
+{
+  public:
+    Tlb(unsigned entries, stats::StatGroup *parent);
+
+    /**
+     * Probe for (asn, va's page). Hits update LRU.
+     * @return true on hit
+     */
+    bool lookup(Asn asn, Addr va);
+
+    /** Probe without LRU update or stats. */
+    bool contains(Asn asn, Addr va) const;
+
+    /** Install a translation (evicts LRU if full). */
+    void insert(Asn asn, Addr va);
+
+    /** Drop everything. */
+    void flushAll();
+
+    unsigned size() const { return unsigned(entries.size()); }
+    unsigned validCount() const;
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar fills;
+    stats::Scalar evictions;
+
+  private:
+    struct Entry
+    {
+        Asn asn = 0;
+        Addr vpn = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries;
+    uint64_t useCounter = 0;
+};
+
+} // namespace zmt
+
+#endif // ZMT_TLB_TLB_HH

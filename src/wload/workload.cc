@@ -1,0 +1,288 @@
+#include "wload/workload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace zmt
+{
+
+namespace
+{
+
+// Register allocation for generated programs.
+constexpr unsigned RegLcg = 1;       //!< LCG state
+constexpr unsigned RegFarBase = 2;
+constexpr unsigned RegHotBase = 3;
+constexpr unsigned RegInner = 5;     //!< inner loop counter
+constexpr unsigned RegAddr = 6;      //!< scratch address
+constexpr unsigned RegTmp = 7;       //!< scratch data
+constexpr unsigned RegFarMask = 8;   //!< farPages - 1
+constexpr unsigned RegHotMask = 9;   //!< hot offset mask (8-byte aligned)
+constexpr unsigned RegLcgMul = 11;
+constexpr unsigned RegSerial = 12;   //!< serial-chain accumulator
+constexpr unsigned RegChase = 13;    //!< pointer-chase cursor
+constexpr unsigned RegCond = 14;     //!< branch condition scratch
+constexpr unsigned RegTmp2 = 15;     //!< second scratch
+constexpr unsigned RegChainBase = 16; //!< chains use r16..r23
+constexpr unsigned MaxChains = 8;
+constexpr unsigned RegJmpTgtBase = 24; //!< r24..r29: indirect targets
+
+constexpr uint64_t LcgMul = 6364136223846793005ULL;
+constexpr int16_t LcgAdd = 12345;
+
+/** Emit: RegLcg = RegLcg * LcgMul + LcgAdd (once per loop body). */
+void
+emitLcg(isa::Assembler &a)
+{
+    a.mul(RegLcg, RegLcgMul, RegLcg);
+    a.addi(RegLcg, RegLcg, LcgAdd);
+}
+
+/**
+ * Rotating bit-field selector: consumers of the per-iteration LCG
+ * value extract different bit ranges so their addresses are
+ * independent *and* computable in parallel (no serial chain besides
+ * the one LCG update).
+ */
+class BitPicker
+{
+  public:
+    unsigned
+    next()
+    {
+        unsigned shift = 7 + 5 * state;
+        state = (state + 1) % 9;
+        return shift;
+    }
+
+  private:
+    unsigned state = 0;
+};
+
+/**
+ * Emit computation of a random far-page address into @p dst using LCG
+ * bits starting at @p shift.
+ */
+void
+emitFarAddr(isa::Assembler &a, unsigned dst, unsigned shift)
+{
+    a.srli(dst, RegLcg, int16_t(shift));
+    a.and_(dst, RegFarMask, dst);
+    a.slli(dst, dst, int16_t(PageBits));
+    a.add(dst, RegFarBase, dst);
+    // In-page offset: bits [12:3] of the LCG value.
+    a.andi(RegTmp2, RegLcg, 0x1ff8);
+    a.add(dst, RegTmp2, dst);
+}
+
+/** Emit a random hot-region address into @p dst. */
+void
+emitHotAddr(isa::Assembler &a, unsigned dst, unsigned shift)
+{
+    a.srli(dst, RegLcg, int16_t(shift));
+    a.and_(dst, RegHotMask, dst);
+    a.add(dst, RegHotBase, dst);
+}
+
+} // anonymous namespace
+
+ProcessImage
+buildWorkload(const WorkloadParams &p)
+{
+    fatal_if(p.aluChains > MaxChains, "too many ALU chains");
+    fatal_if(p.fpChains > MaxChains, "too many FP chains");
+    fatal_if(p.innerIters == 0 || p.innerIters > 32000,
+             "innerIters out of range");
+    fatal_if(p.hotBytesLog2 < PageBits, "hot region smaller than a page");
+    fatal_if(p.indirectFarJumps > 3, "too many indirect far jumps");
+
+    isa::Assembler a;
+    BitPicker bits;
+
+    // ---- One-time init: materialize indirect-jump target addresses.
+    for (unsigned i = 0; i < p.indirectFarJumps; ++i) {
+        a.liLabel(RegJmpTgtBase + 2 * i, "ifj_hot_" + std::to_string(i));
+        a.liLabel(RegJmpTgtBase + 2 * i + 1,
+                  "ifj_far_" + std::to_string(i));
+    }
+
+    // ---- Outer loop: the far phase (the controlled TLB-miss source).
+    a.label("outer");
+    if (p.farLoadsPerOuter > 0) {
+        emitLcg(a);
+        for (unsigned i = 0; i < p.farLoadsPerOuter; ++i) {
+            emitFarAddr(a, RegAddr, bits.next());
+            a.ldq(RegTmp, RegAddr, 0);
+            // Fold the loaded value in so it is not dead code.
+            a.add(RegSerial, RegTmp, RegSerial);
+        }
+    }
+    a.addi(RegInner, isa::ZeroReg, int16_t(p.innerIters));
+
+    // ---- Inner loop: the hot body.
+    a.label("inner");
+    emitLcg(a);
+
+    // Parallel integer chains: independent single-cycle work (ILP).
+    for (unsigned op = 0; op < p.aluOpsPerChain; ++op) {
+        for (unsigned c = 0; c < p.aluChains; ++c) {
+            unsigned reg = RegChainBase + c;
+            if (op % 2 == 0)
+                a.addi(reg, reg, 1);
+            else
+                a.xori(reg, reg, 0x5a);
+        }
+    }
+
+    // Serial dependence chain: bounds achievable IPC.
+    for (unsigned i = 0; i < p.serialMuls; ++i)
+        a.mul(RegSerial, RegLcgMul, RegSerial);
+
+    // FP chains.
+    for (unsigned op = 0; op < p.fpOpsPerChain; ++op) {
+        for (unsigned c = 0; c < p.fpChains; ++c) {
+            unsigned reg = 1 + c; // f1..f8
+            if (p.useFpDiv && op == 0)
+                a.fdiv(reg, 9 + (c % 2), reg);
+            else if (op % 2 == 0)
+                a.fadd(reg, 9 + (c % 2), reg);
+            else
+                a.fmul(reg, 9 + (c % 2), reg);
+        }
+    }
+
+    // FSQRT ops (Section 6 emulation-exception study): sources rotate
+    // over the FP chains, destinations land in scratch registers.
+    for (unsigned i = 0; i < p.fsqrtOps; ++i) {
+        unsigned src = 1 + (i % std::max(1u, p.fpChains));
+        a.fsqrt(src, 20 + (i % 8));
+    }
+
+    // Hot loads (independent, cache-resident working set).
+    for (unsigned i = 0; i < p.hotLoads; ++i) {
+        emitHotAddr(a, RegAddr, bits.next());
+        a.ldq(RegTmp, RegAddr, 0);
+        a.add(RegSerial, RegTmp, RegSerial);
+    }
+
+    // Pointer-chase loads (dependent, deltablue-like). Optionally the
+    // last far-phase load gates the chain — as when a traversal step
+    // dereferences a node fetched from a far page — so TLB misses sit
+    // on the critical path the way they do in the real benchmark.
+    if (p.farFeedsChase && p.farLoadsPerOuter > 0) {
+        a.andi(RegTmp, RegTmp, 0);          // data-independent...
+        a.add(RegChase, RegTmp, RegChase);  // ...but order-dependent
+    }
+    for (unsigned i = 0; i < p.chaseLoads; ++i)
+        a.ldq(RegChase, RegChase, 0);
+
+    // Hot stores (second half of the hot region; the chase list in the
+    // first half stays immutable).
+    for (unsigned i = 0; i < p.hotStores; ++i) {
+        emitHotAddr(a, RegAddr, bits.next());
+        a.stq(RegSerial, RegAddr, 0);
+    }
+
+    // Mispredictable 50/50 branch diamonds (both arms hot and valid).
+    for (unsigned i = 0; i < p.randomBranches; ++i) {
+        std::string skip = "rbr_skip_" + std::to_string(i);
+        a.srli(RegCond, RegLcg, int16_t(bits.next()));
+        a.andi(RegCond, RegCond, 1);
+        a.beq(RegCond, skip);
+        a.addi(RegChainBase, RegChainBase, 3);
+        a.xori(RegTmp, RegTmp, 0x33);
+        a.label(skip);
+        a.addi(RegChainBase + 1, RegChainBase + 1, 1);
+    }
+
+    // gcc-style wrong-path far loads: an indirect jump selects between
+    // a hot block (the common case) and a far block (rare, ~1/128).
+    // The cascaded indirect predictor's first stage predicts the *last*
+    // target, so the jump following each rare far instance is predicted
+    // far while the actual target is hot: the front end fetches and
+    // speculatively executes the far-page load on the wrong path — a
+    // mis-speculated TLB miss plus cache pollution, the behaviour
+    // behind the paper's gcc anomaly (Section 5.3).
+    for (unsigned i = 0; i < p.indirectFarJumps; ++i) {
+        std::string tag = std::to_string(i);
+        unsigned hot_tgt = RegJmpTgtBase + 2 * i;
+        unsigned far_tgt = hot_tgt + 1;
+        a.srli(RegCond, RegLcg, int16_t(bits.next()));
+        a.andi(RegCond, RegCond, int16_t(p.ifjFarMask));
+        a.cmpeq(RegCond, isa::ZeroReg, RegCond); // 1 -> take far block
+        a.mul(far_tgt, RegCond, RegAddr);        // c ? far : 0
+        a.xori(RegCond, RegCond, 1);
+        a.mul(hot_tgt, RegCond, RegTmp2);        // !c ? hot : 0
+        a.add(RegAddr, RegTmp2, RegAddr);        // target
+        a.jmp(RegAddr);
+        a.label("ifj_far_" + tag);
+        emitFarAddr(a, RegAddr, bits.next());
+        a.ldq(RegTmp, RegAddr, 0);
+        a.add(RegSerial, RegTmp, RegSerial);
+        a.br("ifj_join_" + tag);
+        a.label("ifj_hot_" + tag);
+        emitHotAddr(a, RegAddr, bits.next());
+        a.ldq(RegTmp, RegAddr, 0);
+        a.add(RegSerial, RegTmp, RegSerial);
+        a.label("ifj_join_" + tag);
+    }
+
+    // Inner loop control (predictable: taken innerIters-1 times).
+    a.addi(RegInner, RegInner, -1);
+    a.bne(RegInner, "inner");
+    a.br("outer");
+
+    ProcessImage image;
+    image.text = a.assemble(p.textBase);
+
+    // ---- Address space layout.
+    Addr far_size = p.farPages() * PageBytes;
+    image.vaLimit = p.farBase + far_size;
+    fatal_if(p.hotBase + p.hotBytes() > p.farBase,
+             "hot region overlaps far region");
+    fatal_if(image.text.end() > p.hotBase, "text overlaps hot region");
+    image.mapRanges.push_back({p.hotBase, p.hotBytes()});
+    image.mapRanges.push_back({p.farBase, far_size});
+
+    // ---- Pointer-chase linked list: a random cycle through the first
+    // half of the hot region (8-byte nodes holding absolute VAs).
+    if (p.chaseLoads > 0) {
+        unsigned nodes = p.hotBytes() / 16; // first half only
+        std::vector<uint32_t> perm(nodes);
+        for (unsigned i = 0; i < nodes; ++i)
+            perm[i] = i;
+        Rng rng(p.seed ^ 0x9e3779b97f4a7c15ULL);
+        for (unsigned i = nodes - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+        // Chain the permutation into a single cycle.
+        for (unsigned i = 0; i < nodes; ++i) {
+            Addr node_va = p.hotBase + Addr(perm[i]) * 8;
+            Addr next_va = p.hotBase + Addr(perm[(i + 1) % nodes]) * 8;
+            image.dataWords.push_back({node_va, next_va});
+        }
+    }
+
+    // ---- Initial registers.
+    image.initIntRegs[RegLcg] = p.seed | 1;
+    image.initIntRegs[RegFarBase] = p.farBase;
+    // Hot loads/stores use the second half of the hot region; the
+    // first half holds the (immutable) pointer-chase linked list.
+    image.initIntRegs[RegHotBase] = p.hotBase + p.hotBytes() / 2;
+    image.initIntRegs[RegFarMask] = p.farPages() - 1;
+    uint64_t hot_mask = (uint64_t(p.hotBytes()) / 2 - 1) & ~uint64_t(7);
+    image.initIntRegs[RegHotMask] = hot_mask;
+    image.initIntRegs[RegLcgMul] = LcgMul;
+    image.initIntRegs[RegSerial] = 1;
+    image.initIntRegs[RegChase] = p.hotBase;
+    for (unsigned c = 0; c < MaxChains; ++c)
+        image.initIntRegs[RegChainBase + c] = c + 1;
+    for (unsigned c = 0; c < 16; ++c)
+        image.initFpRegs[1 + c] = 0x3ff0000000000000ULL; // 1.0
+
+    return image;
+}
+
+} // namespace zmt

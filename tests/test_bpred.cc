@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Branch prediction tests: YAGS direction learning, the cascaded
+ * indirect predictor (including the stale-target retraining regression
+ * that produces the paper's gcc wrong-path behaviour), the
+ * checkpointing return address stack, and squash recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bpred.hh"
+#include "isa/inst.hh"
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace zmt;
+using namespace zmt::isa;
+
+struct BpredHarness
+{
+    stats::StatGroup root{"root"};
+    BpredParams params;
+    BranchPredictor bp;
+
+    BpredHarness() : bp(params, 2, &root) {}
+
+    /** Predict-then-train one conditional branch; returns prediction. */
+    bool
+    step(Addr pc, bool actual, ThreadID tid = 0)
+    {
+        DecodedInst inst = makeImm(Opcode::Beq, 1, 0, 4);
+        BpredResult result = bp.predict(tid, pc, inst);
+        if (result.taken != actual) {
+            bp.squashRestore(tid, pc, inst, actual, result.checkpoint);
+        }
+        bp.update(tid, pc, inst, actual, pc + 4 + 16, result.checkpoint);
+        return result.taken;
+    }
+
+    /** Predict-then-train one indirect jump; returns predicted target. */
+    Addr
+    stepIndirect(Addr pc, Addr actual, ThreadID tid = 0)
+    {
+        DecodedInst inst = makeReg(Opcode::Jmp, 1, 0, 0);
+        BpredResult result = bp.predict(tid, pc, inst);
+        bp.update(tid, pc, inst, true, actual, result.checkpoint);
+        return result.target;
+    }
+};
+
+TEST(Yags, LearnsAlwaysTaken)
+{
+    BpredHarness h;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i)
+        wrong += h.step(0x1000, true) != true ? 1 : 0;
+    EXPECT_LE(wrong, 2);
+}
+
+TEST(Yags, LearnsAlwaysNotTaken)
+{
+    BpredHarness h;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i)
+        wrong += h.step(0x1000, false) != false ? 1 : 0;
+    EXPECT_LE(wrong, 3);
+}
+
+TEST(Yags, LearnsAlternatingViaHistory)
+{
+    BpredHarness h;
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool actual = (i % 2) == 0;
+        wrong += h.step(0x2000, actual) != actual ? 1 : 0;
+    }
+    // After warm-up the global-history exception caches capture T/NT.
+    EXPECT_LE(wrong, 40);
+}
+
+TEST(Yags, LearnsLoopExitPattern)
+{
+    // Taken 7 times, then not taken once — exactly a short loop.
+    BpredHarness h;
+    int wrong_late = 0;
+    for (int i = 0; i < 800; ++i) {
+        bool actual = (i % 8) != 7;
+        bool pred = h.step(0x3000, actual);
+        if (i >= 400)
+            wrong_late += pred != actual ? 1 : 0;
+    }
+    // 50 exits in the measured half; most must be predicted.
+    EXPECT_LE(wrong_late, 20);
+}
+
+TEST(Yags, IndependentBranchesDontDestroyEachOther)
+{
+    BpredHarness h;
+    // Two heavily biased branches at different PCs.
+    for (int i = 0; i < 200; ++i) {
+        h.step(0x1000, true);
+        h.step(0x5000, false);
+    }
+    EXPECT_TRUE(h.step(0x1000, true));
+    EXPECT_FALSE(h.step(0x5000, false));
+}
+
+TEST(Indirect, LearnsStableTarget)
+{
+    BpredHarness h;
+    Addr target = 0x7777;
+    h.stepIndirect(0x4000, target);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(h.stepIndirect(0x4000, target), target) << i;
+}
+
+TEST(Indirect, FirstStagePredictsLastTarget)
+{
+    BpredHarness h;
+    h.stepIndirect(0x4000, 0xaaaa);
+    // Next prediction follows the last observed target.
+    EXPECT_EQ(h.stepIndirect(0x4000, 0xaaaa), 0xaaaau);
+    h.stepIndirect(0x4000, 0xbbbb);
+    EXPECT_EQ(h.stepIndirect(0x4000, 0xbbbb), 0xbbbbu);
+}
+
+TEST(Indirect, StaleSecondStageEntryRetrains)
+{
+    // Regression test: a rare alternate target must not stick in the
+    // history stage — after one mispredict the entry is retrained, so
+    // a burst of a new target costs O(1) mispredicts, not O(n).
+    BpredHarness h;
+    for (int i = 0; i < 20; ++i)
+        h.stepIndirect(0x4000, 0x1111);
+    h.stepIndirect(0x4000, 0x2222); // rare excursion
+    // One stale prediction is allowed...
+    h.stepIndirect(0x4000, 0x1111);
+    // ...but from here on the common target must be predicted again.
+    int wrong = 0;
+    for (int i = 0; i < 50; ++i)
+        wrong += h.stepIndirect(0x4000, 0x1111) != 0x1111 ? 1 : 0;
+    EXPECT_LE(wrong, 1);
+}
+
+TEST(Ras, CallReturnPairsPredict)
+{
+    BpredHarness h;
+    DecodedInst call = makeReg(Opcode::Jsr, 26, 1, 0);
+    DecodedInst ret = makeReg(Opcode::Ret, 26, 0, 0);
+
+    BpredResult c1 = h.bp.predict(0, 0x1000, call);
+    BpredResult c2 = h.bp.predict(0, 0x2000, call);
+    (void)c1;
+    (void)c2;
+    BpredResult r2 = h.bp.predict(0, 0x3000, ret);
+    EXPECT_EQ(r2.target, 0x2004u);
+    BpredResult r1 = h.bp.predict(0, 0x4000, ret);
+    EXPECT_EQ(r1.target, 0x1004u);
+}
+
+TEST(Ras, CheckpointRepairsCorruption)
+{
+    BpredHarness h;
+    DecodedInst call = makeReg(Opcode::Jsr, 26, 1, 0);
+    DecodedInst ret = makeReg(Opcode::Ret, 26, 0, 0);
+
+    h.bp.predict(0, 0x1000, call); // pushes 0x1004
+
+    // A wrong-path return pops the stack...
+    BpredResult wrong = h.bp.predict(0, 0x5000, ret);
+    EXPECT_EQ(wrong.target, 0x1004u);
+
+    // ...the squash repairs it (return was wrong-path, so restore to
+    // its checkpoint without replay: use plain restore).
+    h.bp.restore(0, wrong.checkpoint);
+
+    BpredResult right = h.bp.predict(0, 0x6000, ret);
+    EXPECT_EQ(right.target, 0x1004u);
+}
+
+TEST(Ras, DeepNesting)
+{
+    BpredHarness h;
+    DecodedInst call = makeReg(Opcode::Jsr, 26, 1, 0);
+    DecodedInst ret = makeReg(Opcode::Ret, 26, 0, 0);
+    for (Addr pc = 0; pc < 32; ++pc)
+        h.bp.predict(0, 0x1000 + pc * 8, call);
+    for (int i = 31; i >= 0; --i) {
+        BpredResult r = h.bp.predict(0, 0x9000, ret);
+        EXPECT_EQ(r.target, 0x1000u + Addr(i) * 8 + 4);
+    }
+}
+
+TEST(Bpred, PerThreadHistoriesAreIndependent)
+{
+    BpredHarness h;
+    // Train thread 0 toward taken, thread 1 toward not-taken, at the
+    // same PC: shared tables, but histories diverge. The final
+    // prediction follows the (shared) tables, so just require that
+    // per-thread state doesn't crash or alias checkpoints.
+    for (int i = 0; i < 100; ++i) {
+        h.step(0x1000, true, 0);
+        h.step(0x1040, false, 1);
+    }
+    EXPECT_TRUE(h.step(0x1000, true, 0));
+    EXPECT_FALSE(h.step(0x1040, false, 1));
+}
+
+TEST(Bpred, RfeIsNeverPredictedTaken)
+{
+    BpredHarness h;
+    DecodedInst rfe = makeNullary(Opcode::Rfe);
+    for (int i = 0; i < 5; ++i) {
+        BpredResult r = h.bp.predict(0, 0x2000, rfe);
+        EXPECT_FALSE(r.taken);
+    }
+}
+
+TEST(Bpred, SnapshotRestoreRoundTrip)
+{
+    BpredHarness h;
+    h.step(0x1000, true);
+    h.step(0x1000, false);
+    BpredCheckpoint snap = h.bp.snapshot(0);
+    h.step(0x1000, true);
+    h.step(0x1000, true);
+    h.bp.restore(0, snap);
+    BpredCheckpoint now = h.bp.snapshot(0);
+    EXPECT_EQ(now.history, snap.history);
+    EXPECT_EQ(now.rasTos, snap.rasTos);
+}
+
+TEST(Bpred, ResetThreadClearsState)
+{
+    BpredHarness h;
+    DecodedInst call = makeReg(Opcode::Jsr, 26, 1, 0);
+    h.bp.predict(0, 0x1000, call);
+    h.step(0x2000, true);
+    h.bp.resetThread(0);
+    BpredCheckpoint snap = h.bp.snapshot(0);
+    EXPECT_EQ(snap.history, 0u);
+    EXPECT_EQ(snap.rasTos, 0u);
+}
+
+TEST(Bpred, LookupStatCounts)
+{
+    BpredHarness h;
+    double before = h.bp.lookups.value();
+    h.step(0x1000, true);
+    EXPECT_EQ(h.bp.lookups.value(), before + 1);
+}
+
+} // anonymous namespace

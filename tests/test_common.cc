@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the common substrate: types, RNG, and the statistics
+ * package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace zmt;
+
+TEST(Types, PageArithmetic)
+{
+    EXPECT_EQ(PageBytes, 8192u);
+    EXPECT_EQ(pageNum(0), 0u);
+    EXPECT_EQ(pageNum(8191), 0u);
+    EXPECT_EQ(pageNum(8192), 1u);
+    EXPECT_EQ(pageBase(8195), 8192u);
+    EXPECT_EQ(pageBase(0x12345678) & PageMask, 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    stats::StatGroup root("root");
+    stats::Scalar counter(&root, "counter", "a counter");
+    EXPECT_EQ(counter.value(), 0.0);
+    ++counter;
+    counter += 2.5;
+    EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+    counter = 7;
+    EXPECT_DOUBLE_EQ(counter.value(), 7.0);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0.0);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::StatGroup root("root");
+    stats::Average avg(&root, "avg", "");
+    EXPECT_EQ(avg.mean(), 0.0);
+    avg.sample(2);
+    avg.sample(4);
+    avg.sample(6);
+    EXPECT_DOUBLE_EQ(avg.mean(), 4.0);
+    EXPECT_EQ(avg.samples(), 3u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::StatGroup root("root");
+    stats::Distribution dist(&root, "dist", "", 0, 100, 10);
+    dist.sample(-5);   // underflow
+    dist.sample(0);    // bucket 0
+    dist.sample(9.5);  // bucket 0
+    dist.sample(55);   // bucket 5
+    dist.sample(150);  // overflow
+    EXPECT_EQ(dist.samples(), 5u);
+    EXPECT_EQ(dist.underflows(), 1u);
+    EXPECT_EQ(dist.overflows(), 1u);
+    EXPECT_EQ(dist.bucketCount(0), 2u);
+    EXPECT_EQ(dist.bucketCount(5), 1u);
+    EXPECT_DOUBLE_EQ(dist.minSample(), -5.0);
+    EXPECT_DOUBLE_EQ(dist.maxSample(), 150.0);
+}
+
+TEST(Stats, FormulaLazy)
+{
+    stats::StatGroup root("root");
+    stats::Scalar a(&root, "a", "");
+    stats::Scalar b(&root, "b", "");
+    stats::Formula ratio(&root, "ratio", "",
+                         [&] { return b.value() ? a.value() / b.value()
+                                                : 0.0; });
+    EXPECT_EQ(ratio.value(), 0.0);
+    a = 10;
+    b = 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.5);
+}
+
+TEST(Stats, GroupNestingAndFind)
+{
+    stats::StatGroup root("sim");
+    stats::StatGroup child("core", &root);
+    stats::Scalar cycles(&child, "cycles", "");
+    cycles = 123;
+
+    const stats::StatBase *found = root.find("core.cycles");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name(), "cycles");
+    EXPECT_EQ(root.find("core.nope"), nullptr);
+    EXPECT_EQ(root.find("nope.cycles"), nullptr);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    stats::StatGroup root("sim");
+    stats::Scalar cycles(&root, "cycles", "simulated cycles");
+    cycles = 42;
+    std::ostringstream os;
+    root.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("sim.cycles"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("simulated cycles"), std::string::npos);
+}
+
+TEST(Stats, CsvRows)
+{
+    stats::StatGroup root("sim");
+    stats::Scalar a(&root, "a", "");
+    a = 3;
+    std::ostringstream os;
+    root.dumpCsv(os);
+    EXPECT_NE(os.str().find("sim.a,3"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    stats::StatGroup root("sim");
+    stats::StatGroup child("core", &root);
+    stats::Scalar a(&root, "a", "");
+    stats::Scalar b(&child, "b", "");
+    a = 1;
+    b = 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+
+TEST(Trace, ParseFlags)
+{
+    using namespace zmt::trace;
+    EXPECT_EQ(parseFlags(""), uint32_t(None));
+    EXPECT_EQ(parseFlags("exc"), uint32_t(Exc));
+    EXPECT_EQ(parseFlags("exc,retire"), uint32_t(Exc | Retire));
+    EXPECT_EQ(parseFlags("all"), uint32_t(All));
+}
+
+TEST(Trace, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(zmt::trace::parseFlags("bogus"),
+                ::testing::ExitedWithCode(1), "unknown trace flag");
+}
+
+TEST(Trace, EnableDisable)
+{
+    using namespace zmt::trace;
+    setTraceFlags(uint32_t(None));
+    EXPECT_FALSE(enabled(Exc));
+    setTraceFlags("exc,squash");
+    EXPECT_TRUE(enabled(Exc));
+    EXPECT_TRUE(enabled(Squash));
+    EXPECT_FALSE(enabled(Retire));
+    setTraceFlags(uint32_t(None));
+}
+
+TEST(Trace, FlagNames)
+{
+    using namespace zmt::trace;
+    EXPECT_STREQ(flagName(Exc), "exc");
+    EXPECT_STREQ(flagName(Retire), "retire");
+    EXPECT_STREQ(flagName(Mem), "mem");
+}
+
+} // anonymous namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Experiment-harness tests: the penalty metric math, baseline
+ * memoization, parameter parsing, and the Figure 7 mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace zmt;
+
+TEST(PenaltyMath, PerMissAndFraction)
+{
+    PenaltyResult r;
+    r.mech.measuredCycles = 1200;
+    r.mech.measuredMisses = 50;
+    r.mech.measuredInsts = 10000;
+    r.perfect.measuredCycles = 1000;
+    EXPECT_DOUBLE_EQ(r.penaltyPerMiss(), 4.0);
+    EXPECT_DOUBLE_EQ(r.tlbFraction(), 200.0 / 1200.0);
+    EXPECT_DOUBLE_EQ(r.missesPerKilo(), 5.0);
+}
+
+TEST(PenaltyMath, ZeroMissesIsZeroPenalty)
+{
+    PenaltyResult r;
+    r.mech.measuredCycles = 1200;
+    r.perfect.measuredCycles = 1000;
+    r.mech.measuredMisses = 0;
+    EXPECT_EQ(r.penaltyPerMiss(), 0.0);
+}
+
+TEST(PenaltyMath, Speedup)
+{
+    PenaltyResult r;
+    r.mech.measuredCycles = 800;
+    CoreResult traditional;
+    traditional.measuredCycles = 1000;
+    EXPECT_DOUBLE_EQ(r.speedupOver(traditional), 1.25);
+}
+
+TEST(Experiment, BaselineIsMemoized)
+{
+    clearBaselineCache();
+    SimParams params;
+    params.maxInsts = 15000;
+    params.except.mech = ExceptMech::Traditional;
+
+    PenaltyResult a = measurePenalty(params, {"compress"});
+    params.except.mech = ExceptMech::Hardware;
+    PenaltyResult b = measurePenalty(params, {"compress"});
+    // Identical baseline object values: the perfect run was reused.
+    EXPECT_EQ(a.perfect.cycles, b.perfect.cycles);
+    EXPECT_EQ(a.perfect.userInsts, b.perfect.userInsts);
+}
+
+TEST(Experiment, DifferentShapesGetDifferentBaselines)
+{
+    clearBaselineCache();
+    SimParams params;
+    params.maxInsts = 15000;
+    params.except.mech = ExceptMech::Traditional;
+    PenaltyResult wide = measurePenalty(params, {"murphi"});
+    params.core.setWidth(2);
+    PenaltyResult narrow = measurePenalty(params, {"murphi"});
+    EXPECT_NE(wide.perfect.cycles, narrow.perfect.cycles);
+}
+
+TEST(Experiment, Figure7MixesAreValid)
+{
+    const auto &mixes = figure7Mixes();
+    EXPECT_EQ(mixes.size(), 8u); // the paper's eight combinations
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.size(), 3u);
+        for (const auto &bench : mix)
+            EXPECT_NO_FATAL_FAILURE(benchmarkParams(bench));
+    }
+}
+
+TEST(Params, KeyValueParsing)
+{
+    SimParams params;
+    params.setKeyValue("core.width=4");
+    EXPECT_EQ(params.core.width, 4u);
+    EXPECT_EQ(params.core.windowSize, 64u); // paired per Figure 3
+    params.setKeyValue("except.mech=hardware");
+    EXPECT_EQ(params.except.mech, ExceptMech::Hardware);
+    params.setKeyValue("except.windowReservation=off");
+    EXPECT_FALSE(params.except.windowReservation);
+    params.setKeyValue("maxInsts=123456");
+    EXPECT_EQ(params.maxInsts, 123456u);
+}
+
+TEST(Params, UnknownKeyIsFatal)
+{
+    SimParams params;
+    EXPECT_EXIT(params.setKeyValue("core.bogus=1"),
+                ::testing::ExitedWithCode(1), "unknown parameter");
+}
+
+TEST(Params, BadValueIsFatal)
+{
+    SimParams params;
+    EXPECT_EXIT(params.setKeyValue("core.width=abc"),
+                ::testing::ExitedWithCode(1), "bad numeric");
+    EXPECT_EXIT(params.setKeyValue("except.mech=warp"),
+                ::testing::ExitedWithCode(1), "unknown exception");
+}
+
+TEST(Params, FrontendDepthDecomposition)
+{
+    SimParams params;
+    for (unsigned depth : {3u, 5u, 7u, 9u, 11u, 15u}) {
+        params.core.setFrontendDepth(depth);
+        EXPECT_EQ(params.core.frontendDepth(), depth) << depth;
+        EXPECT_GE(params.core.fetchDepth, 1u);
+        EXPECT_GE(params.core.regReadDepth, 1u);
+    }
+}
+
+TEST(Params, MechNamesRoundTrip)
+{
+    for (ExceptMech mech :
+         {ExceptMech::PerfectTlb, ExceptMech::Traditional,
+          ExceptMech::Multithreaded, ExceptMech::QuickStart,
+          ExceptMech::Hardware}) {
+        EXPECT_EQ(parseMech(mechName(mech)), mech);
+    }
+}
+
+TEST(Params, SummaryMentionsMechanism)
+{
+    SimParams params;
+    params.except.mech = ExceptMech::QuickStart;
+    EXPECT_NE(params.summary().find("quickstart"), std::string::npos);
+}
+
+} // anonymous namespace

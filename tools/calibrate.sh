@@ -1,0 +1,22 @@
+#!/bin/bash
+# Calibration sweep: per-benchmark perfect IPC, miss rate, penalties
+# over a warmed measurement window.
+N=${1:-700000}
+W=${2:-300000}
+printf "%-10s %6s %9s %8s %8s %8s %8s\n" bench IPC miss/kin trad mt qs hw
+for b in alphadoom applu compress deltablue gcc hydro2d murphi vortex; do
+  pout=$(./build/examples/zmt_sim except.mech=perfect maxInsts=$N warmupInsts=$W $b 2>/dev/null)
+  ipc=$(echo "$pout" | awk '/^ipc/{print $2}')
+  pc=$(echo "$pout" | awk '/^measCycles/{print $2}')
+  row=""
+  mk=""
+  for m in traditional multithreaded quickstart hardware; do
+    out=$(./build/examples/zmt_sim except.mech=$m maxInsts=$N warmupInsts=$W $b 2>/dev/null)
+    c=$(echo "$out" | awk '/^measCycles/{print $2}')
+    mi=$(echo "$out" | awk '/^measMisses/{print $2}')
+    [ -z "$mk" ] && mk=$(echo "$out" | awk '/^miss\/kinst/{print $2}')
+    p=$(python3 -c "print(f'{($c-$pc)/max($mi,1):.2f}')")
+    row="$row $p"
+  done
+  printf "%-10s %6s %9s %8s %8s %8s %8s\n" $b $ipc $mk $row
+done
