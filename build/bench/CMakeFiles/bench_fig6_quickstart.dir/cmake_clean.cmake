@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_quickstart.dir/bench_fig6_quickstart.cc.o"
+  "CMakeFiles/bench_fig6_quickstart.dir/bench_fig6_quickstart.cc.o.d"
+  "bench_fig6_quickstart"
+  "bench_fig6_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_limits.dir/bench_table3_limits.cc.o"
+  "CMakeFiles/bench_table3_limits.dir/bench_table3_limits.cc.o.d"
+  "bench_table3_limits"
+  "bench_table3_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

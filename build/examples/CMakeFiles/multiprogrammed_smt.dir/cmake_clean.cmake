@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogrammed_smt.dir/multiprogrammed_smt.cpp.o"
+  "CMakeFiles/multiprogrammed_smt.dir/multiprogrammed_smt.cpp.o.d"
+  "multiprogrammed_smt"
+  "multiprogrammed_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogrammed_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

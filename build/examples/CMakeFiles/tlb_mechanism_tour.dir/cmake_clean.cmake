@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_mechanism_tour.dir/tlb_mechanism_tour.cpp.o"
+  "CMakeFiles/tlb_mechanism_tour.dir/tlb_mechanism_tour.cpp.o.d"
+  "tlb_mechanism_tour"
+  "tlb_mechanism_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_mechanism_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmt_sim.dir/zmt_sim.cpp.o"
+  "CMakeFiles/zmt_sim.dir/zmt_sim.cpp.o.d"
+  "zmt_sim"
+  "zmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bpred.cc" "src/CMakeFiles/zmt.dir/bpred/bpred.cc.o" "gcc" "src/CMakeFiles/zmt.dir/bpred/bpred.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/zmt.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/zmt.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/zmt.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/zmt.dir/common/trace.cc.o.d"
+  "/root/repo/src/config/params.cc" "src/CMakeFiles/zmt.dir/config/params.cc.o" "gcc" "src/CMakeFiles/zmt.dir/config/params.cc.o.d"
+  "/root/repo/src/core/complete.cc" "src/CMakeFiles/zmt.dir/core/complete.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/complete.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/zmt.dir/core/core.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/core.cc.o.d"
+  "/root/repo/src/core/dispatch.cc" "src/CMakeFiles/zmt.dir/core/dispatch.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/dispatch.cc.o.d"
+  "/root/repo/src/core/fetch.cc" "src/CMakeFiles/zmt.dir/core/fetch.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/fetch.cc.o.d"
+  "/root/repo/src/core/issue.cc" "src/CMakeFiles/zmt.dir/core/issue.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/issue.cc.o.d"
+  "/root/repo/src/core/retire.cc" "src/CMakeFiles/zmt.dir/core/retire.cc.o" "gcc" "src/CMakeFiles/zmt.dir/core/retire.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/zmt.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/zmt.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/zmt.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/zmt.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/zmt.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/zmt.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/kernel/emulator.cc" "src/CMakeFiles/zmt.dir/kernel/emulator.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/emulator.cc.o.d"
+  "/root/repo/src/kernel/funcmachine.cc" "src/CMakeFiles/zmt.dir/kernel/funcmachine.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/funcmachine.cc.o.d"
+  "/root/repo/src/kernel/pagetable.cc" "src/CMakeFiles/zmt.dir/kernel/pagetable.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/pagetable.cc.o.d"
+  "/root/repo/src/kernel/pal.cc" "src/CMakeFiles/zmt.dir/kernel/pal.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/pal.cc.o.d"
+  "/root/repo/src/kernel/physmem.cc" "src/CMakeFiles/zmt.dir/kernel/physmem.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/physmem.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/zmt.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/zmt.dir/kernel/process.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/zmt.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/zmt.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/zmt.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/zmt.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/zmt.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/zmt.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/zmt.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/zmt.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/zmt.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/zmt.dir/stats/stats.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/zmt.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/zmt.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/tlb/walker.cc" "src/CMakeFiles/zmt.dir/tlb/walker.cc.o" "gcc" "src/CMakeFiles/zmt.dir/tlb/walker.cc.o.d"
+  "/root/repo/src/wload/benchmarks.cc" "src/CMakeFiles/zmt.dir/wload/benchmarks.cc.o" "gcc" "src/CMakeFiles/zmt.dir/wload/benchmarks.cc.o.d"
+  "/root/repo/src/wload/workload.cc" "src/CMakeFiles/zmt.dir/wload/workload.cc.o" "gcc" "src/CMakeFiles/zmt.dir/wload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
