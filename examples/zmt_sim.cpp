@@ -83,5 +83,11 @@ main(int argc, char **argv)
         sim.dumpStats(std::cout);
     if (dump_csv)
         sim.statsRoot().dumpCsv(std::cout);
+    if (!result.ok()) {
+        // Numbers above are from a truncated run: say so loudly.
+        std::fprintf(stderr, "error: %s: %s\n",
+                     runStatusName(result.status), result.error.c_str());
+        return 1;
+    }
     return 0;
 }

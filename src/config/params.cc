@@ -99,6 +99,21 @@ parseU64(const std::string &key, const std::string &value)
     }
 }
 
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(value, &pos);
+        fatal_if(pos != value.size(), "trailing junk in value for %s: '%s'",
+                 key.c_str(), value.c_str());
+        return v;
+    } catch (const std::exception &) {
+        fatal("bad numeric value for %s: '%s'", key.c_str(), value.c_str());
+        return 0.0;
+    }
+}
+
 bool
 parseBool(const std::string &key, const std::string &value)
 {
@@ -192,9 +207,40 @@ SimParams::set(const std::string &key, const std::string &value)
         return;
     }
 
+    auto d = [&] { return parseDouble(key, value); };
+    if (key == "verify.invariantPeriod") {
+        verify.invariantPeriod = unsigned(u());
+        return;
+    }
+    if (key == "verify.seed") { verify.seed = u(); return; }
+    if (key == "verify.badPteProb") { verify.badPteProb = d(); return; }
+    if (key == "verify.stealIdleProb") { verify.stealIdleProb = d(); return; }
+    if (key == "verify.forceSecondaryMissProb") {
+        verify.forceSecondaryMissProb = d();
+        return;
+    }
+    if (key == "verify.squeezePeriod") {
+        verify.squeezePeriod = unsigned(u());
+        return;
+    }
+    if (key == "verify.squeezeDuration") {
+        verify.squeezeDuration = unsigned(u());
+        return;
+    }
+    if (key == "verify.squeezeWindowTo") {
+        verify.squeezeWindowTo = unsigned(u());
+        return;
+    }
+    if (key == "verify.handlerSquashPeriod") {
+        verify.handlerSquashPeriod = unsigned(u());
+        return;
+    }
+    if (key == "verify.mutateSpliceBug") { verify.mutateSpliceBug = b(); return; }
+
     if (key == "maxInsts") { maxInsts = u(); return; }
     if (key == "warmupInsts") { warmupInsts = u(); return; }
     if (key == "seed") { seed = u(); return; }
+    if (key == "watchdogCycles") { watchdogCycles = u(); return; }
 
     fatal("unknown parameter '%s'", key.c_str());
 }
@@ -219,6 +265,10 @@ SimParams::summary() const
        << " dtlb=" << tlb.dtlbEntries;
     if (except.usesHandlerThread())
         os << " idle=" << except.idleThreads;
+    if (verify.enabled())
+        os << " verify[seed=" << (verify.seed ? verify.seed : seed)
+           << (verify.anyInjection() ? " inject" : "")
+           << (verify.invariantPeriod ? " audit" : "") << "]";
     return os.str();
 }
 

@@ -153,6 +153,74 @@ struct ExceptParams
     }
 };
 
+/**
+ * Verification-layer parameters: fault injection and invariant
+ * checking (src/verify). All probabilities/periods default to off so a
+ * production run pays nothing; the torture harness and the rare-path
+ * tests turn them on. Every stochastic decision flows through one
+ * seeded Rng so a failing run is reproducible from its printed seed.
+ */
+struct VerifyParams
+{
+    /** Audit pipeline invariants every N cycles (0 = disabled). */
+    unsigned invariantPeriod = 0;
+
+    /** Injector RNG seed; 0 derives it from SimParams::seed. */
+    uint64_t seed = 0;
+
+    /**
+     * Probability that a multithreaded handler's PTE load observes an
+     * invalid PTE (one-shot shadow override — simulated memory is
+     * never modified), driving the HARDEXC reversion path (Sec 4.3).
+     */
+    double badPteProb = 0.0;
+
+    /**
+     * Probability that an idle context is hidden from spawnMtHandler,
+     * forcing the no-idle-context traditional fallback.
+     */
+    double stealIdleProb = 0.0;
+
+    /**
+     * Probability that a TLB *hit* by an instruction older than an
+     * in-flight record's excepting instruction is turned into a miss,
+     * driving the secondary-miss relink path (Sec 4.5).
+     */
+    double forceSecondaryMissProb = 0.0;
+
+    // --- Periodic window squeeze (drives deadlock-avoidance squash) ---
+    unsigned squeezePeriod = 0;    //!< cycle period (0 = off)
+    unsigned squeezeDuration = 0;  //!< squeezed cycles per period
+    unsigned squeezeWindowTo = 32; //!< effective window while squeezed
+
+    /** Squash one record's master from its excepting instruction every
+     *  N cycles (0 = off) — exercises handler reclaim (cancelRecord). */
+    unsigned handlerSquashPeriod = 0;
+
+    /**
+     * Test-only mutation switch: deliberately break the retirement
+     * splice (the handler retires without waiting for the master to
+     * reach the excepting instruction). Exists to prove the
+     * InvariantChecker catches splice-ordering bugs.
+     */
+    bool mutateSpliceBug = false;
+
+    bool
+    anyInjection() const
+    {
+        return badPteProb > 0.0 || stealIdleProb > 0.0 ||
+               forceSecondaryMissProb > 0.0 ||
+               (squeezePeriod > 0 && squeezeDuration > 0) ||
+               handlerSquashPeriod > 0;
+    }
+
+    bool
+    enabled() const
+    {
+        return anyInjection() || invariantPeriod > 0 || mutateSpliceBug;
+    }
+};
+
 /** Top-level simulation parameters. */
 struct SimParams
 {
@@ -161,6 +229,7 @@ struct SimParams
     TlbParams tlb;
     BpredParams bpred;
     ExceptParams except;
+    VerifyParams verify;
 
     /** Stop after this many retired user-mode instructions (total). */
     uint64_t maxInsts = 1'000'000;
@@ -174,6 +243,13 @@ struct SimParams
 
     /** Workload-generation seed. */
     uint64_t seed = 1;
+
+    /**
+     * Livelock watchdog: abort the run (with a structured error
+     * status, not a crash) after this many cycles. 0 picks a generous
+     * automatic bound proportional to maxInsts.
+     */
+    uint64_t watchdogCycles = 0;
 
     /**
      * Set a parameter by dotted name, e.g. "core.width=4" or

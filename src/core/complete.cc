@@ -371,6 +371,11 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
             break;
         }
     }
+    if (idle && injector && injector->stealIdleContext()) {
+        // Injected exhaustion: pretend every context is busy so the
+        // no-idle-context fallback path gets exercised.
+        idle = nullptr;
+    }
     if (!idle) {
         // More exceptions than idle contexts: revert to the
         // traditional mechanism (the paper's advocated option).
@@ -399,10 +404,15 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
     h.handlerFetched = 0;
     h.handlerLen = handlerLen(kind);
     h.handlerLenCapped = true;
-    if (kind == ExcKind::TlbMiss)
+    if (kind == ExcKind::TlbMiss) {
         seedPrivRegs(h, master, inst->effVa, inst->pc);
-    else
+        if (injector) {
+            injector->maybeArmBadPte(
+                master.proc->space().pteAddr(inst->effVa));
+        }
+    } else {
         seedEmulRegs(h, *inst);
+    }
 
     ExcRecord record;
     record.kind = kind;

@@ -8,6 +8,17 @@
 namespace zmt
 {
 
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:                 return "ok";
+      case RunStatus::Livelock:           return "livelock";
+      case RunStatus::InvariantViolation: return "invariant-violation";
+    }
+    return "?";
+}
+
 SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
                  PhysMem &mem, const PalCode &pal,
                  stats::StatGroup *parent)
@@ -86,6 +97,37 @@ SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
         }
         contexts.push_back(std::move(ctx));
     }
+
+    if (params.verify.anyInjection()) {
+        injector = std::make_unique<FaultInjector>(params.verify,
+                                                   params.seed, this);
+    }
+    if (params.verify.invariantPeriod > 0)
+        checker = std::make_unique<InvariantChecker>(*this);
+}
+
+SmtCore::~SmtCore()
+{
+    // In-flight instructions reference each other both forward
+    // (dependents, woken at completion) and backward (prevWriter, the
+    // rename-undo chain), so a run that ends mid-flight leaves
+    // shared_ptr cycles. Break the back edges so everything frees.
+    auto unlink = [](const InstPtr &inst) {
+        inst->dependents.clear();
+        inst->prevWriter.reset();
+    };
+    for (const InstPtr &inst : window)
+        unlink(inst);
+    for (const InstPtr &inst : parked)
+        unlink(inst);
+    for (const auto &[cycle, inst] : completionQueue)
+        unlink(inst);
+    for (const auto &ctx : contexts) {
+        for (const InstPtr &inst : ctx->inflight)
+            unlink(inst);
+        for (const InstPtr &inst : ctx->fetchBuf)
+            unlink(inst);
+    }
 }
 
 Asn
@@ -156,8 +198,39 @@ SmtCore::fakePa(Asn asn, Addr va) const
 }
 
 void
+SmtCore::injectHandlerSquash()
+{
+    // Pick the first record whose master is squashable: discards the
+    // handler mid-flight via the ordinary squash path (cancelRecord),
+    // exercising handler reclaim. The master refetches the excepting
+    // instruction, re-misses, and starts a fresh handling.
+    for (auto &record : records) {
+        InstPtr fault = record.faultInst;
+        if (!fault || fault->squashed())
+            continue;
+        ThreadCtx &master = *contexts[record.master];
+        if (!master.isApp())
+            continue;
+        injector->noteHandlerSquash();
+        Addr fault_pc = fault->pc;
+        BpredCheckpoint chk = fault->bpChk;
+        squashFrom(master, fault->seq); // cancels the record
+        bpred->restore(master.id, chk);
+        master.fetchPc = fault_pc;
+        master.fetchPal = false;
+        return;
+    }
+}
+
+void
 SmtCore::tick()
 {
+    if (injector) {
+        injector->onCycle(curCycle);
+        if (injector->shouldSquashHandler(curCycle))
+            injectHandlerSquash();
+    }
+
     doRetire();
     doComplete();
     doIssue();
@@ -180,6 +253,9 @@ SmtCore::tick()
                  actual, windowCount);
     }
 
+    if (checker && curCycle % params.verify.invariantPeriod == 0)
+        checker->audit();
+
     ++curCycle;
     numCycles = double(curCycle);
 }
@@ -187,12 +263,43 @@ SmtCore::tick()
 CoreResult
 SmtCore::run()
 {
-    // Livelock guard: generous bound on cycles per retired instruction.
-    const Cycle cycle_cap = Cycle(params.maxInsts) * 200 + 1'000'000;
+    // Livelock watchdog: configurable, defaulting to a generous bound
+    // on cycles per retired instruction.
+    const Cycle cycle_cap =
+        params.watchdogCycles
+            ? Cycle(params.watchdogCycles)
+            : Cycle(params.maxInsts) * 200 + 1'000'000;
 
     Cycle warmup_cycles = 0;
     uint64_t warmup_misses = 0;
     bool warm = params.warmupInsts == 0;
+
+    auto snapshot = [&] {
+        CoreResult result;
+        result.cycles = curCycle;
+        result.userInsts = totalRetiredUser();
+        result.tlbMisses = uint64_t(tlbMisses.value());
+        result.measuredCycles = curCycle - warmup_cycles;
+        result.measuredInsts =
+            result.userInsts -
+            std::min(params.warmupInsts, result.userInsts);
+        result.measuredMisses = result.tlbMisses - warmup_misses;
+        result.ipc =
+            result.measuredCycles
+                ? double(result.measuredInsts) / result.measuredCycles
+                : 0.0;
+        return result;
+    };
+    auto violated = [&] {
+        dumpState(std::cerr);
+        CoreResult result = snapshot();
+        result.status = RunStatus::InvariantViolation;
+        result.error = "invariant violation (" +
+                       std::to_string(checker->violationCount()) +
+                       " total): " + checker->firstViolation() + " [" +
+                       params.summary() + "]";
+        return result;
+    };
 
     // With multiple applications, a fixed *total* budget would let a
     // penalized thread simply retire less while the others fill the
@@ -210,6 +317,8 @@ SmtCore::run()
 
     while (!all_reached(quota)) {
         tick();
+        if (checker && checker->failed())
+            return violated();
         if (!warm && all_reached(warm_quota)) {
             warm = true;
             warmup_cycles = curCycle;
@@ -217,25 +326,24 @@ SmtCore::run()
         }
         if (curCycle > cycle_cap) {
             dumpState(std::cerr);
-            fatal("livelock: %lu cycles, only %lu insts retired (%s)",
-                  (unsigned long)curCycle,
-                  (unsigned long)totalRetiredUser(),
-                  params.summary().c_str());
+            CoreResult result = snapshot();
+            result.status = RunStatus::Livelock;
+            result.error =
+                "livelock: " + std::to_string(curCycle) +
+                " cycles, only " + std::to_string(totalRetiredUser()) +
+                " insts retired [" + params.summary() + "]";
+            return result;
         }
     }
 
-    CoreResult result;
-    result.cycles = curCycle;
-    result.userInsts = totalRetiredUser();
-    result.tlbMisses = uint64_t(tlbMisses.value());
-    result.measuredCycles = curCycle - warmup_cycles;
-    result.measuredInsts =
-        result.userInsts - std::min(params.warmupInsts, result.userInsts);
-    result.measuredMisses = result.tlbMisses - warmup_misses;
-    result.ipc = result.measuredCycles
-                     ? double(result.measuredInsts) / result.measuredCycles
-                     : 0.0;
-    return result;
+    if (checker) {
+        // Final audit so short runs get at least one structural pass.
+        checker->audit();
+        if (checker->failed())
+            return violated();
+    }
+
+    return snapshot();
 }
 
 

@@ -35,13 +35,28 @@
 #include "mem/hierarchy.hh"
 #include "tlb/tlb.hh"
 #include "tlb/walker.hh"
+#include "verify/faultinject.hh"
+#include "verify/invariant.hh"
 
 namespace zmt
 {
 
+/** How a simulation run ended. */
+enum class RunStatus : uint8_t
+{
+    Ok,                 //!< retired the requested instruction budget
+    Livelock,           //!< watchdog cycle bound exceeded
+    InvariantViolation, //!< the InvariantChecker found illegal state
+};
+
+const char *runStatusName(RunStatus status);
+
 /** Top-level outcome of a simulation run. */
 struct CoreResult
 {
+    RunStatus status = RunStatus::Ok;
+    std::string error;         //!< diagnostic when status != Ok
+
     Cycle cycles = 0;          //!< total, including warm-up
     uint64_t userInsts = 0;    //!< total retired user instructions
     uint64_t tlbMisses = 0;    //!< total completed miss handlings
@@ -52,6 +67,8 @@ struct CoreResult
     Cycle measuredCycles = 0;
     uint64_t measuredInsts = 0;
     uint64_t measuredMisses = 0;
+
+    bool ok() const { return status == RunStatus::Ok; }
 };
 
 /** The simulated SMT processor. */
@@ -67,7 +84,14 @@ class SmtCore : public stats::StatGroup
     SmtCore(const SimParams &params, std::vector<Process *> apps,
             PhysMem &mem, const PalCode &pal, stats::StatGroup *parent);
 
-    /** Run until maxInsts user instructions retire (fatal on livelock). */
+    ~SmtCore();
+
+    /**
+     * Run until maxInsts user instructions retire. A watchdog timeout
+     * or an invariant violation ends the run early with the
+     * corresponding error status (never a crash), so sweeps degrade
+     * gracefully and report which configuration misbehaved.
+     */
     CoreResult run();
 
     /** Advance one cycle (exposed for fine-grained tests). */
@@ -86,6 +110,12 @@ class SmtCore : public stats::StatGroup
 
     const Tlb &dtlb() const { return *tlb; }
     MemHierarchy &memory() { return *hier; }
+
+    /** The fault injector, when verify.* enables one (else null). */
+    FaultInjector *faultInjector() { return injector.get(); }
+
+    /** The invariant checker, when verify.invariantPeriod > 0. */
+    const InvariantChecker *invariants() const { return checker.get(); }
 
     // --- Statistics ------------------------------------------------------
     stats::Scalar numCycles;
@@ -212,6 +242,8 @@ class SmtCore : public stats::StatGroup
     void prefillQuickStart(ThreadCtx &ctx);
 
     // --- Dispatch helpers -----------------------------------------------------
+    /** Window capacity this cycle (the injector may squeeze it). */
+    unsigned effectiveWindowSize() const;
     bool windowHasRoomFor(const ThreadCtx &ctx, const DynInst &inst) const;
     void dispatchInst(ThreadCtx &ctx, const InstPtr &inst);
     void functionalExecute(ThreadCtx &ctx, const InstPtr &inst);
@@ -251,6 +283,11 @@ class SmtCore : public stats::StatGroup
     ExcRecord *recordForPage(Asn asn, Addr vpn);
     void releaseHandlerCtx(ThreadCtx &ctx);
     void cancelRecord(size_t idx);
+    void wakeTlbWaiters(Asn asn, Addr vpn);
+
+    /** Injected fault: squash one record's master from its excepting
+     *  instruction, exercising mid-flight handler reclaim. */
+    void injectHandlerSquash();
 
     // --- Squash -------------------------------------------------------------------
     /**
@@ -283,6 +320,10 @@ class SmtCore : public stats::StatGroup
     std::vector<std::unique_ptr<ThreadCtx>> contexts;
     unsigned numApps = 0;
 
+    // Verification layer (null unless verify.* enables it).
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<InvariantChecker> checker;
+
     std::vector<ExcRecord> records;
     std::vector<InstPtr> parked; //!< instructions waiting on a TLB fill
 
@@ -308,6 +349,7 @@ class SmtCore : public stats::StatGroup
              lsUsed = 0;
 
     friend class DispatchContext;
+    friend class InvariantChecker;
 };
 
 } // namespace zmt

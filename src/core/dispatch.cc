@@ -93,7 +93,15 @@ class DispatchContext : public ExecContext
         if (inst.palMode) {
             inst.memMapped = true;
             inst.effPa = addr;
-            return core.physMem.read(addr, size);
+            uint64_t value = core.physMem.read(addr, size);
+            if (core.injector && ctx.isHandler()) {
+                // Injected invalid PTE: a one-shot shadow override on
+                // this handler's PTE read (memory itself is untouched,
+                // so the post-reversion inline handler sees the real,
+                // valid PTE and the golden model stays undisturbed).
+                value = core.injector->filterPteRead(addr, value);
+            }
+            return value;
         }
         auto pa = ctx.proc->space().translate(addr);
         if (!pa) {
@@ -307,17 +315,26 @@ SmtCore::linkDependencies(ThreadCtx &ctx, const InstPtr &inst)
     }
 }
 
+unsigned
+SmtCore::effectiveWindowSize() const
+{
+    return injector
+               ? injector->effectiveWindow(curCycle,
+                                           params.core.windowSize)
+               : params.core.windowSize;
+}
+
 bool
 SmtCore::windowHasRoomFor(const ThreadCtx &ctx, const DynInst &inst) const
 {
     if (inst.freeWindowSlot)
         return true;
     if (ctx.isHandler())
-        return windowCount < params.core.windowSize;
+        return windowCount < effectiveWindowSize();
     // Application threads may not consume slots reserved for handlers
     // spawned on their behalf (other app threads are unrestricted —
     // paper Section 4.4).
-    return windowCount + reservedAgainst(ctx.id) < params.core.windowSize;
+    return windowCount + reservedAgainst(ctx.id) < effectiveWindowSize();
 }
 
 void

@@ -107,7 +107,19 @@ SmtCore::issueInst(const InstPtr &inst)
         params.except.mech != ExceptMech::PerfectTlb) {
         ThreadCtx &ctx = ctxOf(*inst);
         Asn asn = asnOf(ctx);
-        if (!tlb->lookup(asn, inst->effVa)) {
+        bool hit = tlb->lookup(asn, inst->effVa);
+        if (hit && injector && params.except.usesHandlerThread()) {
+            // Injected burst miss: an older instruction touching a
+            // page whose handling is already in flight re-misses,
+            // driving the secondary-miss relink path (Section 4.5).
+            ExcRecord *record = recordForPage(asn, pageNum(inst->effVa));
+            if (record && record->faultInst &&
+                inst->seq < record->faultInst->seq &&
+                injector->forceSecondaryMiss()) {
+                hit = false;
+            }
+        }
+        if (!hit) {
             // DTLB miss detected at address generation. Park the
             // instruction (it re-executes after the fill) and dispatch
             // to the configured exception architecture. The port was

@@ -30,6 +30,13 @@ SmtCore::retireBlocked(ThreadCtx &ctx, const InstPtr &head)
     if (ctx.isHandler()) {
         ExcRecord *record = recordForHandler(ctx.id);
         panic_if(!record, "retiring handler context without a record");
+        if (params.verify.mutateSpliceBug) {
+            // Deliberately broken splice (mutation check): the handler
+            // retires without waiting for the master to reach the
+            // excepting instruction. Exists only to prove the
+            // InvariantChecker catches splice-ordering bugs.
+            return false;
+        }
         return !record->spliceOpen;
     }
     if (ctx.isApp()) {
@@ -71,6 +78,8 @@ SmtCore::removeFromWindow(DynInst &inst)
 void
 SmtCore::retireInst(ThreadCtx &ctx, const InstPtr &inst)
 {
+    if (checker)
+        checker->noteRetire(ctx.id, *inst); // before the record is erased
     lastRetireCycle = curCycle;
     removeFromWindow(*inst);
     inst->status = InstStatus::Retired;
@@ -128,6 +137,8 @@ SmtCore::retireInst(ThreadCtx &ctx, const InstPtr &inst)
             ExcRecord *record = recordForHandler(ctx.id);
             panic_if(!record, "handler RFE retired without a record");
             kind = record->kind;
+            Asn asn = record->asn;
+            Addr vpn = record->vpn;
             for (size_t i = 0; i < records.size(); ++i) {
                 if (records[i].handler == ctx.id) {
                     records.erase(records.begin() + i);
@@ -135,6 +146,16 @@ SmtCore::retireInst(ThreadCtx &ctx, const InstPtr &inst)
                 }
             }
             releaseHandlerCtx(ctx);
+            if (kind == ExcKind::TlbMiss) {
+                // The fill (TLBWR) woke the waiters parked at that
+                // point, but an instruction can re-miss the same page
+                // between the fill and this RFE (forced miss, or a
+                // real eviction in a small DTLB) and park under the
+                // still-live record. No later fill is coming for
+                // them: wake the survivors now so they re-issue and
+                // either hit or start a fresh handling.
+                wakeTlbWaiters(asn, vpn);
+            }
         }
         ZTRACE(curCycle, Retire, "t%d handler complete (%s)",
                int(ctx.id),
@@ -228,6 +249,11 @@ SmtCore::cancelRecord(size_t idx)
 
     ThreadCtx &h = *contexts[record.handler];
     panic_if(!h.isHandler(), "cancelling a record with a freed handler");
+    if (injector && record.kind == ExcKind::TlbMiss && h.proc) {
+        // Drop any unconsumed invalid-PTE override for this handling.
+        injector->disarmBadPte(
+            h.proc->space().pteAddr(Addr(record.vpn) << PageBits));
+    }
     squashFrom(h, 0); // discard the handler thread's work entirely
     releaseHandlerCtx(h);
 
@@ -236,12 +262,17 @@ SmtCore::cancelRecord(size_t idx)
 
     // Wake surviving waiters: they re-issue, and either hit (the fill
     // already landed) or re-detect the miss and start a new handling.
+    wakeTlbWaiters(record.asn, record.vpn);
+}
+
+void
+SmtCore::wakeTlbWaiters(Asn asn, Addr vpn)
+{
     for (auto it = parked.begin(); it != parked.end();) {
         InstPtr &waiter = *it;
         ThreadCtx &wctx = ctxOf(**&waiter);
-        if (!waiter->squashed() && wctx.proc &&
-            wctx.proc->asn() == record.asn &&
-            pageNum(waiter->effVa) == record.vpn &&
+        if (!waiter->squashed() && wctx.proc && wctx.proc->asn() == asn &&
+            pageNum(waiter->effVa) == vpn &&
             waiter->status == InstStatus::TlbWait) {
             waiter->status = InstStatus::InWindow;
             it = parked.erase(it);

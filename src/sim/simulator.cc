@@ -66,6 +66,7 @@ Simulator::build(const SimParams &params,
     for (size_t i = 0; i < pal.prog.size(); ++i)
         physMem.write32(pal.prog.base + i * 4, pal.prog.words[i]);
 
+    wloads = workloads;
     std::vector<Process *> raw;
     for (size_t i = 0; i < workloads.size(); ++i) {
         ProcessImage image = buildWorkload(workloads[i]);
@@ -88,7 +89,10 @@ runSimulation(const SimParams &params,
               const std::vector<std::string> &benchmarks)
 {
     Simulator sim(params, benchmarks);
-    return sim.run();
+    CoreResult result = sim.run();
+    fatal_if(!result.ok(), "simulation failed (%s): %s",
+             runStatusName(result.status), result.error.c_str());
+    return result;
 }
 
 } // namespace zmt

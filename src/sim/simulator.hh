@@ -40,10 +40,15 @@ class Simulator
     CoreResult run();
 
     SmtCore &core() { return *_core; }
+    const SmtCore &core() const { return *_core; }
     PhysMem &mem() { return physMem; }
     Process &process(unsigned i) { return *procs.at(i); }
     unsigned numProcesses() const { return unsigned(procs.size()); }
     const PalCode &palCode() const { return pal; }
+
+    /** The resolved (seed-salted) workload of process @p i — what a
+     *  functional replay must build to match (verify/diffcheck). */
+    const WorkloadParams &workload(unsigned i) const { return wloads.at(i); }
 
     /** Dump all statistics as text. */
     void dumpStats(std::ostream &os) const { root.dump(os); }
@@ -59,12 +64,15 @@ class Simulator
     PhysMem physMem;
     FrameAllocator frames;
     PalCode pal;
+    std::vector<WorkloadParams> wloads;
     std::vector<std::unique_ptr<Process>> procs;
     std::unique_ptr<SmtCore> _core;
 };
 
 /**
- * One-shot helper: build, run, return the result.
+ * One-shot helper: build, run, return the result. Fatal if the run
+ * does not complete (livelock / invariant violation) — callers that
+ * want to handle errors gracefully use Simulator::run directly.
  */
 CoreResult runSimulation(const SimParams &params,
                          const std::vector<std::string> &benchmarks);

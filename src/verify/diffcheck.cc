@@ -1,0 +1,54 @@
+#include "verify/diffcheck.hh"
+
+#include <sstream>
+
+#include "kernel/funcmachine.hh"
+#include "sim/simulator.hh"
+
+namespace zmt
+{
+
+std::string
+DiffResult::summary() const
+{
+    if (ok())
+        return "all threads match the golden model";
+    std::ostringstream os;
+    for (const ThreadDiff &t : threads) {
+        if (t.matches())
+            continue;
+        os << "thread " << t.app << ": timing " << t.timingInsts
+           << " insts hash 0x" << std::hex << t.timingHash << " vs golden "
+           << std::dec << t.goldenInsts << " insts hash 0x" << std::hex
+           << t.goldenHash << std::dec << "; ";
+    }
+    return os.str();
+}
+
+DiffResult
+diffAgainstGolden(Simulator &sim)
+{
+    DiffResult result;
+    for (unsigned i = 0; i < sim.numProcesses(); ++i) {
+        ThreadDiff d;
+        d.app = i;
+        d.timingInsts = sim.core().retiredUserInsts(i);
+        d.timingHash = sim.core().retiredStoreHash(i);
+
+        // Fresh memory and page tables: the replay must not observe
+        // any state touched by the timing run.
+        PhysMem mem;
+        FrameAllocator frames;
+        ProcessImage image = buildWorkload(sim.workload(i));
+        Process proc(image, Asn(i + 1), mem, frames);
+        FuncMachine machine(proc, mem);
+        ArchResult golden = machine.run(d.timingInsts);
+
+        d.goldenInsts = golden.instsExecuted;
+        d.goldenHash = golden.storeHash;
+        result.threads.push_back(d);
+    }
+    return result;
+}
+
+} // namespace zmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Differential checker: replays each application thread's workload on
+ * the functional FuncMachine for exactly as many instructions as the
+ * timing core retired, and compares instruction counts and the FNV-1a
+ * retired-store hashes. Every exception mechanism is timing-only —
+ * squash, trap, splice, relink, reversion and all injected faults must
+ * leave the architectural result identical to the functional run.
+ */
+
+#ifndef ZMT_VERIFY_DIFFCHECK_HH
+#define ZMT_VERIFY_DIFFCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zmt
+{
+
+class Simulator;
+
+/** Per-application-thread comparison against the golden model. */
+struct ThreadDiff
+{
+    unsigned app = 0;
+    uint64_t timingInsts = 0; //!< retired by the timing core
+    uint64_t goldenInsts = 0; //!< executed by the functional replay
+    uint64_t timingHash = 0;
+    uint64_t goldenHash = 0;
+
+    bool
+    matches() const
+    {
+        return timingInsts == goldenInsts && timingHash == goldenHash;
+    }
+};
+
+/** Result of a whole-simulation differential check. */
+struct DiffResult
+{
+    std::vector<ThreadDiff> threads;
+
+    bool
+    ok() const
+    {
+        for (const ThreadDiff &t : threads)
+            if (!t.matches())
+                return false;
+        return true;
+    }
+
+    /** One line per mismatching thread ("all threads match" when ok). */
+    std::string summary() const;
+};
+
+/**
+ * Replay @p sim's workloads functionally and compare. Call after
+ * Simulator::run(); reads the per-thread retired counts and store
+ * hashes from the core.
+ */
+DiffResult diffAgainstGolden(Simulator &sim);
+
+} // namespace zmt
+
+#endif // ZMT_VERIFY_DIFFCHECK_HH
