@@ -80,6 +80,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (const auto &config : configs)
         for (const auto &bench : ablationBenches)
             registerPenaltyBench(std::string("ablation/") + config.label +

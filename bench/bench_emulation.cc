@@ -56,6 +56,21 @@ emulWorkload(const Density &density)
     return wp;
 }
 
+SimParams
+densityParams(ExceptMech mech)
+{
+    SimParams params = baseParams();
+    // Shorter default than the TLB studies (emulation exceptions are
+    // denser); an explicit --insts/--warmup still takes precedence.
+    if (params.maxInsts == BenchInsts)
+        params.maxInsts = 400'000;
+    if (params.warmupInsts == BenchWarmup)
+        params.warmupInsts = 150'000;
+    params.except.mech = mech;
+    params.except.emulateFsqrt = true;
+    return params;
+}
+
 struct Cell
 {
     double cycles = 0;
@@ -65,27 +80,11 @@ struct Cell
 Cell
 run(const Density &density, ExceptMech mech)
 {
-    static std::map<std::string, Cell> cache;
-    std::string key =
-        std::string(density.label) + "/" + mechName(mech);
-    if (auto it = cache.find(key); it != cache.end())
-        return it->second;
-
-    SimParams params = baseParams();
-    params.maxInsts = 400'000;
-    params.warmupInsts = 150'000;
-    params.except.mech = mech;
-    params.except.emulateFsqrt = true;
-
-    Simulator sim(params,
-                  std::vector<WorkloadParams>{emulWorkload(density)});
-    CoreResult result = sim.run();
-    const auto *done = dynamic_cast<const stats::Scalar *>(
-        sim.statsRoot().find("core.emulDone"));
-    Cell cell{double(result.measuredCycles),
-              done ? done->value() : 0.0};
-    cache[key] = cell;
-    return cell;
+    // No perfect-TLB companion: this study compares mechanisms on raw
+    // cycles, so the sweep jobs skip the baseline run.
+    const PenaltyResult &r = runCachedWorkloads(
+        densityParams(mech), {emulWorkload(density)}, true);
+    return Cell{double(r.mech.measuredCycles), double(r.mech.emulations)};
 }
 
 void
@@ -117,20 +116,14 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (const auto &density : densities) {
         for (ExceptMech mech : mechs) {
             std::string name = std::string("emulation/") +
                                density.label + "/" + mechName(mech);
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [&density, mech](benchmark::State &state) {
-                    Cell cell;
-                    for (auto _ : state)
-                        cell = run(density, mech);
-                    state.counters["cycles"] = cell.cycles;
-                    state.counters["emulations"] = cell.emuls;
-                })
-                ->Iterations(1)->Unit(benchmark::kMillisecond);
+            registerWorkloadBench(name, densityParams(mech),
+                                  {emulWorkload(density)},
+                                  /*skipBaseline=*/true);
         }
     }
     return benchMain(argc, argv, summary);

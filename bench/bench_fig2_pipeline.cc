@@ -63,6 +63,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (unsigned depth : depths)
         for (const auto &bench : benchmarkNames())
             registerPenaltyBench("fig2/depth" + std::to_string(depth) +

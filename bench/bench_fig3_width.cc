@@ -67,6 +67,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (unsigned width : widths)
         for (const auto &bench : benchmarkNames())
             registerPenaltyBench("fig3/width" + std::to_string(width) +

@@ -81,6 +81,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (const auto &config : configs)
         for (const auto &bench : benchmarkNames())
             registerPenaltyBench(std::string("fig6/") + config.label +

@@ -36,9 +36,10 @@ configParams(const Config &config)
     SimParams params = baseParams();
     // Every app thread must retire its share (the core's per-thread
     // quota), so give the mix a large budget: low-miss mixes need many
-    // instructions per post-warm-up miss.
-    params.maxInsts = 2'400'000;
-    params.warmupInsts = 900'000;
+    // instructions per post-warm-up miss. Honors --insts/--warmup,
+    // scaled by the three application threads.
+    params.maxInsts = 3 * benchConfig().insts + 300'000;
+    params.warmupInsts = 3 * benchConfig().warmup;
     params.except.mech = config.mech;
     params.except.idleThreads = 1;
     return params;
@@ -126,6 +127,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (const auto &config : configs)
         for (const auto &mix : figure7Mixes())
             registerPenaltyBench(std::string("fig7/") + config.label +

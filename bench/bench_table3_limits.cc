@@ -83,6 +83,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     for (const auto &config : configs)
         for (const auto &bench : benchmarkNames())
             registerPenaltyBench(std::string("table3/") + config.label +

@@ -100,6 +100,7 @@ summary()
 int
 main(int argc, char **argv)
 {
+    benchParseArgs(argc, argv);
     SimParams trad = baseParams();
     trad.except.mech = ExceptMech::Traditional;
     for (const auto &bench : benchmarkNames())

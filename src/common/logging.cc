@@ -9,6 +9,10 @@ namespace zmt
 namespace
 {
 
+// Atomic: simulations run on sweep worker threads (sim/sweep.hh), so
+// the verbosity flag and warning counter are read/written
+// concurrently. Relaxed ordering suffices — they are independent
+// monotonic values, never used to publish other state.
 std::atomic<bool> verboseFlag{false};
 std::atomic<uint64_t> warnings{0};
 
@@ -49,10 +53,11 @@ void
 logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
 {
     if (level == LogLevel::Warn)
-        warnings.fetch_add(1);
+        warnings.fetch_add(1, std::memory_order_relaxed);
 
     bool terminal = level == LogLevel::Panic || level == LogLevel::Fatal;
-    if (!terminal && !verboseFlag.load() && level != LogLevel::Warn)
+    if (!terminal && !verboseFlag.load(std::memory_order_relaxed) &&
+        level != LogLevel::Warn)
         return;
 
     std::va_list args;

@@ -1,5 +1,6 @@
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <sstream>
@@ -9,7 +10,7 @@
 namespace zmt::trace
 {
 
-uint32_t activeFlags = None;
+std::atomic<uint32_t> activeFlags{None};
 
 namespace
 {
@@ -53,19 +54,19 @@ parseFlags(const std::string &csv)
 void
 setTraceFlags(uint32_t flags)
 {
-    activeFlags = flags;
+    activeFlags.store(flags, std::memory_order_relaxed);
 }
 
 void
 setTraceFlags(const std::string &csv)
 {
-    activeFlags = parseFlags(csv);
+    setTraceFlags(parseFlags(csv));
 }
 
 uint32_t
 traceFlags()
 {
-    return activeFlags;
+    return activeFlags.load(std::memory_order_relaxed);
 }
 
 const char *

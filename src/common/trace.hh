@@ -9,6 +9,7 @@
 #ifndef ZMT_COMMON_TRACE_HH
 #define ZMT_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -43,12 +44,16 @@ void setTraceFlags(const std::string &csv);
 /** Currently active flags. */
 uint32_t traceFlags();
 
-/** Is a category enabled? */
+/**
+ * Is a category enabled? Atomic (relaxed) because simulations run on
+ * sweep worker threads; the flag set is process-global, so enabling a
+ * category traces every concurrent simulation.
+ */
 inline bool
 enabled(Flag flag)
 {
-    extern uint32_t activeFlags;
-    return (activeFlags & flag) != 0;
+    extern std::atomic<uint32_t> activeFlags;
+    return (activeFlags.load(std::memory_order_relaxed) & flag) != 0;
 }
 
 /** Emit one trace line: "<cycle>: <tag>: <message>". */

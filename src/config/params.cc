@@ -1,5 +1,6 @@
 #include "config/params.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -252,6 +253,104 @@ SimParams::setKeyValue(const std::string &assignment)
     fatal_if(eq == std::string::npos, "expected key=value, got '%s'",
              assignment.c_str());
     set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+void
+SimParams::forEachParam(
+    const std::function<void(const std::string &,
+                             const std::string &)> &fn) const
+{
+    auto u = [&](const char *name, uint64_t v) {
+        fn(name, std::to_string(v));
+    };
+    auto b = [&](const char *name, bool v) { fn(name, v ? "1" : "0"); };
+    auto d = [&](const char *name, double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        fn(name, buf);
+    };
+
+    // Every field of every sub-struct, in declaration order. The
+    // baseline cache keys on this list: omitting a field here would
+    // silently alias configurations that simulate differently (the
+    // pre-sweep baselineKey() bug), so keep it exhaustive.
+    u("core.width", core.width);
+    u("core.windowSize", core.windowSize);
+    u("core.fetchDepth", core.fetchDepth);
+    u("core.decodeDepth", core.decodeDepth);
+    u("core.schedDepth", core.schedDepth);
+    u("core.regReadDepth", core.regReadDepth);
+    u("core.fetchBufEntries", core.fetchBufEntries);
+    u("core.intAluCount", core.intAluCount);
+    u("core.intMulCount", core.intMulCount);
+    u("core.fpAddCount", core.fpAddCount);
+    u("core.fpDivCount", core.fpDivCount);
+    u("core.lsPortCount", core.lsPortCount);
+
+    u("mem.l1iSizeKb", mem.l1iSizeKb);
+    u("mem.l1iAssoc", mem.l1iAssoc);
+    u("mem.l1iLineBytes", mem.l1iLineBytes);
+    u("mem.l1dSizeKb", mem.l1dSizeKb);
+    u("mem.l1dAssoc", mem.l1dAssoc);
+    u("mem.l1dLineBytes", mem.l1dLineBytes);
+    u("mem.l2SizeKb", mem.l2SizeKb);
+    u("mem.l2Assoc", mem.l2Assoc);
+    u("mem.l2LineBytes", mem.l2LineBytes);
+    u("mem.l2Latency", mem.l2Latency);
+    u("mem.maxOutstandingMisses", mem.maxOutstandingMisses);
+    u("mem.l1l2BusCyclesPerBlock", mem.l1l2BusCyclesPerBlock);
+    u("mem.l2MemBusCycles", mem.l2MemBusCycles);
+    u("mem.memLatency", mem.memLatency);
+
+    u("tlb.dtlbEntries", tlb.dtlbEntries);
+
+    u("bpred.yagsChoiceBits", bpred.yagsChoiceBits);
+    u("bpred.yagsExcBits", bpred.yagsExcBits);
+    u("bpred.yagsTagBits", bpred.yagsTagBits);
+    u("bpred.indirectBtbBits", bpred.indirectBtbBits);
+    u("bpred.indirectExcBits", bpred.indirectExcBits);
+    u("bpred.rasEntries", bpred.rasEntries);
+    u("bpred.historyBits", bpred.historyBits);
+
+    fn("except.mech", mechName(except.mech));
+    u("except.idleThreads", except.idleThreads);
+    b("except.windowReservation", except.windowReservation);
+    b("except.handlerFetchPriority", except.handlerFetchPriority);
+    b("except.relinkSecondaryMiss", except.relinkSecondaryMiss);
+    b("except.deadlockSquash", except.deadlockSquash);
+    b("except.hwSpeculativeFill", except.hwSpeculativeFill);
+    u("except.quickStartWarmup", except.quickStartWarmup);
+    b("except.emulateFsqrt", except.emulateFsqrt);
+    b("except.freeHandlerExecBw", except.freeHandlerExecBw);
+    b("except.freeHandlerWindow", except.freeHandlerWindow);
+    b("except.freeHandlerFetchBw", except.freeHandlerFetchBw);
+    b("except.instantHandlerFetch", except.instantHandlerFetch);
+
+    u("verify.invariantPeriod", verify.invariantPeriod);
+    u("verify.seed", verify.seed);
+    d("verify.badPteProb", verify.badPteProb);
+    d("verify.stealIdleProb", verify.stealIdleProb);
+    d("verify.forceSecondaryMissProb", verify.forceSecondaryMissProb);
+    u("verify.squeezePeriod", verify.squeezePeriod);
+    u("verify.squeezeDuration", verify.squeezeDuration);
+    u("verify.squeezeWindowTo", verify.squeezeWindowTo);
+    u("verify.handlerSquashPeriod", verify.handlerSquashPeriod);
+    b("verify.mutateSpliceBug", verify.mutateSpliceBug);
+
+    u("maxInsts", maxInsts);
+    u("warmupInsts", warmupInsts);
+    u("seed", seed);
+    u("watchdogCycles", watchdogCycles);
+}
+
+std::string
+SimParams::canonicalKey() const
+{
+    std::ostringstream os;
+    forEachParam([&](const std::string &name, const std::string &value) {
+        os << name << "=" << value << ";";
+    });
+    return os.str();
 }
 
 std::string

@@ -10,6 +10,7 @@
 #define ZMT_CONFIG_PARAMS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace zmt
@@ -262,6 +263,27 @@ struct SimParams
 
     /** One-line summary for logs. */
     std::string summary() const;
+
+    /**
+     * Visit every simulation-relevant field as a (dotted-name,
+     * value-string) pair, in a fixed order. This is the single
+     * enumeration behind canonicalKey() and the sweep runner's JSON
+     * output: a field listed here is part of the baseline-cache
+     * contract (src/sim/experiment.cc), so any new SimParams field
+     * must be added to the implementation in params.cc.
+     */
+    void forEachParam(
+        const std::function<void(const std::string &,
+                                 const std::string &)> &fn) const;
+
+    /**
+     * Canonical full serialization of the configuration: every field
+     * from forEachParam, in order. Two SimParams with equal canonical
+     * keys run identically; the perfect-TLB baseline cache keys on
+     * this (plus the workload list), so it can never alias two
+     * configurations that simulate differently.
+     */
+    std::string canonicalKey() const;
 };
 
 /** Parse a mechanism name ("traditional", "mt", "quickstart", ...). */

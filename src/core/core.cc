@@ -279,6 +279,7 @@ SmtCore::run()
         result.cycles = curCycle;
         result.userInsts = totalRetiredUser();
         result.tlbMisses = uint64_t(tlbMisses.value());
+        result.emulations = uint64_t(emulDone.value());
         result.measuredCycles = curCycle - warmup_cycles;
         result.measuredInsts =
             result.userInsts -

@@ -60,6 +60,7 @@ struct CoreResult
     Cycle cycles = 0;          //!< total, including warm-up
     uint64_t userInsts = 0;    //!< total retired user instructions
     uint64_t tlbMisses = 0;    //!< total completed miss handlings
+    uint64_t emulations = 0;   //!< completed instruction emulations
     double ipc = 0.0;          //!< measured-window IPC
 
     // Post-warm-up measurement window (equals the totals when

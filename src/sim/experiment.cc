@@ -1,6 +1,9 @@
 #include "sim/experiment.hh"
 
+#include <functional>
+#include <future>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 namespace zmt
@@ -9,24 +12,89 @@ namespace zmt
 namespace
 {
 
+/**
+ * Baseline-cache key: the canonical serialization of *every* SimParams
+ * field plus the workload list. The old hand-picked field list (width,
+ * window, depth, insts, warm-up, seed, dTLB entries) silently aliased
+ * configurations differing in memory latencies, cache geometry,
+ * predictor shape etc. to one stale baseline; canonicalKey() cannot.
+ */
 std::string
 baselineKey(const SimParams &params,
             const std::vector<std::string> &benchmarks)
 {
     std::ostringstream os;
+    os << "n:";
     for (const auto &bench : benchmarks)
         os << bench << "+";
-    os << "w" << params.core.width << ".win" << params.core.windowSize
-       << ".fd" << params.core.frontendDepth() << ".n" << params.maxInsts << ".wu" << params.warmupInsts
-       << ".s" << params.seed << ".tlb" << params.tlb.dtlbEntries;
+    os << "|" << params.canonicalKey();
     return os.str();
 }
 
-std::map<std::string, CoreResult> &
-baselineCache()
+std::string
+baselineKey(const SimParams &params,
+            const std::vector<WorkloadParams> &workloads)
 {
-    static std::map<std::string, CoreResult> cache;
-    return cache;
+    std::ostringstream os;
+    os << "w:";
+    for (const auto &wp : workloads)
+        os << canonicalKey(wp) << "+";
+    os << "|" << params.canonicalKey();
+    return os.str();
+}
+
+/**
+ * Memoized baselines, shared by every thread of a sweep. Values are
+ * shared_futures so that when several workers miss on the same key at
+ * once, exactly one runs the simulation and the rest block on its
+ * result instead of duplicating a multi-second run.
+ */
+std::mutex cacheMutex;
+std::map<std::string, std::shared_future<CoreResult>> futureCache;
+
+CoreResult
+cachedRun(const std::string &key, const std::function<CoreResult()> &run)
+{
+    std::shared_future<CoreResult> fut;
+    std::promise<CoreResult> mine;
+    bool runner = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = futureCache.find(key);
+        if (it == futureCache.end()) {
+            fut = mine.get_future().share();
+            futureCache.emplace(key, fut);
+            runner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (runner)
+        mine.set_value(run()); // outside the lock: this is the long part
+    return fut.get();
+}
+
+template <typename Workloads>
+PenaltyResult
+measureWith(const SimParams &params, const Workloads &workloads,
+            bool skip_baseline)
+{
+    SimParams perfect = params;
+    perfect.except.mech = ExceptMech::PerfectTlb;
+
+    PenaltyResult result;
+    if (!skip_baseline) {
+        result.perfect =
+            cachedRun(baselineKey(perfect, workloads),
+                      [&] { return runSimulation(perfect, workloads); });
+    }
+    // A perfect-TLB configuration *is* its own baseline — reuse it
+    // rather than simulating the identical machine twice.
+    if (!skip_baseline && params.except.mech == ExceptMech::PerfectTlb)
+        result.mech = result.perfect;
+    else
+        result.mech = runSimulation(params, workloads);
+    return result;
 }
 
 } // anonymous namespace
@@ -35,24 +103,29 @@ PenaltyResult
 measurePenalty(const SimParams &params,
                const std::vector<std::string> &benchmarks)
 {
-    PenaltyResult result;
-    result.mech = runSimulation(params, benchmarks);
+    return measureWith(params, benchmarks, false);
+}
 
-    SimParams perfect = params;
-    perfect.except.mech = ExceptMech::PerfectTlb;
-    const std::string key = baselineKey(perfect, benchmarks);
-    auto &cache = baselineCache();
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, runSimulation(perfect, benchmarks)).first;
-    result.perfect = it->second;
-    return result;
+PenaltyResult
+measurePenalty(const SimParams &params,
+               const std::vector<WorkloadParams> &workloads,
+               bool skipBaseline)
+{
+    return measureWith(params, workloads, skipBaseline);
 }
 
 void
 clearBaselineCache()
 {
-    baselineCache().clear();
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    futureCache.clear();
+}
+
+size_t
+baselineCacheSize()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return futureCache.size();
 }
 
 const std::vector<std::vector<std::string>> &

@@ -9,8 +9,15 @@
  *    execution time attributable to TLB miss handling.
  *  - speedup over the traditional mechanism (Table 4).
  *
- * Perfect-TLB baselines are memoized per (workloads, machine shape,
- * instruction budget) so sweeps that share a baseline don't re-run it.
+ * Perfect-TLB baselines are memoized per (workloads, full machine
+ * configuration) so sweeps that share a baseline don't re-run it. The
+ * cache key is SimParams::canonicalKey() — a serialization of *every*
+ * simulation-relevant field — so configurations that differ in any
+ * way (memory latencies, cache geometry, predictor shape, ...) can
+ * never alias to a stale baseline. The cache is thread-safe: the
+ * sweep runner (sim/sweep.hh) calls measurePenalty from worker
+ * threads, and concurrent requests for the same baseline run it
+ * exactly once (later requesters block on the first run's future).
  */
 
 #ifndef ZMT_SIM_EXPERIMENT_HH
@@ -83,8 +90,19 @@ struct PenaltyResult
 PenaltyResult measurePenalty(const SimParams &params,
                              const std::vector<std::string> &benchmarks);
 
+/** Same, for explicitly constructed workloads (e.g. custom emulation
+ *  studies). @p skipBaseline skips the perfect-TLB run and leaves
+ *  PenaltyResult::perfect zeroed for studies that only need the
+ *  mechanism-under-test counters. */
+PenaltyResult measurePenalty(const SimParams &params,
+                             const std::vector<WorkloadParams> &workloads,
+                             bool skipBaseline = false);
+
 /** Drop all memoized baselines (tests). */
 void clearBaselineCache();
+
+/** Number of distinct memoized baselines (tests). */
+size_t baselineCacheSize();
 
 /** The Figure 7 multiprogrammed mixes, in the paper's order. */
 const std::vector<std::vector<std::string>> &figure7Mixes();

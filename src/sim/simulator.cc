@@ -84,15 +84,34 @@ Simulator::run()
     return _core->run();
 }
 
+namespace
+{
+
+CoreResult
+runChecked(Simulator &sim)
+{
+    CoreResult result = sim.run();
+    fatal_if(!result.ok(), "simulation failed (%s): %s",
+             runStatusName(result.status), result.error.c_str());
+    return result;
+}
+
+} // anonymous namespace
+
 CoreResult
 runSimulation(const SimParams &params,
               const std::vector<std::string> &benchmarks)
 {
     Simulator sim(params, benchmarks);
-    CoreResult result = sim.run();
-    fatal_if(!result.ok(), "simulation failed (%s): %s",
-             runStatusName(result.status), result.error.c_str());
-    return result;
+    return runChecked(sim);
+}
+
+CoreResult
+runSimulation(const SimParams &params,
+              const std::vector<WorkloadParams> &workloads)
+{
+    Simulator sim(params, workloads);
+    return runChecked(sim);
 }
 
 } // namespace zmt

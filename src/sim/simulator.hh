@@ -77,6 +77,10 @@ class Simulator
 CoreResult runSimulation(const SimParams &params,
                          const std::vector<std::string> &benchmarks);
 
+/** Same, for explicitly constructed workloads. */
+CoreResult runSimulation(const SimParams &params,
+                         const std::vector<WorkloadParams> &workloads);
+
 } // namespace zmt
 
 #endif // ZMT_SIM_SIMULATOR_HH

@@ -1,0 +1,242 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace zmt
+{
+
+SweepRunner::SweepRunner(unsigned jobs) : numThreads(jobs)
+{
+    if (numThreads == 0) {
+        numThreads = std::thread::hardware_concurrency();
+        if (numThreads == 0)
+            numThreads = 1;
+    }
+}
+
+void
+SweepRunner::parallelFor(size_t count,
+                         const std::function<void(size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+
+    const unsigned workers =
+        unsigned(std::min<size_t>(numThreads, count));
+    if (workers <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Dynamic self-scheduling: cells vary by orders of magnitude in
+    // cost (insts x width x miss rate), so static striping would leave
+    // workers idle behind one long cell.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1))
+            fn(i);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t)
+        pool.emplace_back(worker);
+    worker(); // the calling thread is worker 0
+    for (auto &thread : pool)
+        thread.join();
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        const SweepJob &job = jobs[i];
+        auto start = std::chrono::steady_clock::now();
+        if (!job.workloads.empty()) {
+            outcomes[i].result = measurePenalty(job.params, job.workloads,
+                                                job.skipBaseline);
+        } else {
+            outcomes[i].result =
+                measurePenalty(job.params, job.benchmarks);
+        }
+        outcomes[i].wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    });
+    return outcomes;
+}
+
+unsigned
+parseJobsFlag(int &argc, char **argv, unsigned fallback)
+{
+    unsigned jobs = fallback;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            value = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        char *end = nullptr;
+        unsigned long v = std::strtoul(value, &end, 10);
+        fatal_if(end == value || *end != '\0',
+                 "bad --jobs value '%s'", value);
+        jobs = unsigned(v);
+    }
+    argv[out] = nullptr;
+    argc = out;
+    return jobs;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+emitCoreResult(std::ostream &os, const CoreResult &r)
+{
+    os << "{\"status\":\"" << jsonEscape(runStatusName(r.status))
+       << "\",\"cycles\":" << r.cycles
+       << ",\"user_insts\":" << r.userInsts
+       << ",\"tlb_misses\":" << r.tlbMisses
+       << ",\"emulations\":" << r.emulations
+       << ",\"measured_cycles\":" << r.measuredCycles
+       << ",\"measured_insts\":" << r.measuredInsts
+       << ",\"measured_misses\":" << r.measuredMisses
+       << ",\"ipc\":" << jsonNumber(r.ipc) << "}";
+}
+
+void
+emitCell(std::ostream &os, const SweepJob &job,
+         const SweepOutcome &outcome)
+{
+    const PenaltyResult &r = outcome.result;
+    os << "{\"label\":\"" << jsonEscape(job.label)
+       << "\",\"benchmarks\":[";
+    for (size_t i = 0; i < job.benchmarks.size(); ++i)
+        os << (i ? "," : "") << "\"" << jsonEscape(job.benchmarks[i])
+           << "\"";
+    for (size_t i = 0; i < job.workloads.size(); ++i)
+        os << (i || !job.benchmarks.empty() ? "," : "") << "\""
+           << jsonEscape(job.workloads[i].name) << "\"";
+    os << "],\"penalty_per_miss\":" << jsonNumber(r.penaltyPerMiss())
+       << ",\"tlb_fraction\":" << jsonNumber(r.tlbFraction())
+       << ",\"ipc\":" << jsonNumber(r.mech.ipc)
+       << ",\"misses_per_kinst\":" << jsonNumber(r.missesPerKilo())
+       << ",\"mech\":";
+    emitCoreResult(os, r.mech);
+    os << ",\"perfect\":";
+    if (job.skipBaseline)
+        os << "null";
+    else
+        emitCoreResult(os, r.perfect);
+    os << ",\"wall_seconds\":" << jsonNumber(outcome.wallSeconds)
+       << ",\"params\":{";
+    bool first = true;
+    job.params.forEachParam(
+        [&](const std::string &name, const std::string &value) {
+            os << (first ? "" : ",") << "\"" << jsonEscape(name)
+               << "\":\"" << jsonEscape(value) << "\"";
+            first = false;
+        });
+    os << "}}";
+}
+
+} // anonymous namespace
+
+std::string
+sweepResultsJson(const std::string &name,
+                 const std::vector<SweepJob> &jobs,
+                 const std::vector<SweepOutcome> &outcomes,
+                 unsigned threads, double wallSeconds)
+{
+    panic_if(jobs.size() != outcomes.size(),
+             "sweep JSON: %zu jobs but %zu outcomes", jobs.size(),
+             outcomes.size());
+    std::ostringstream os;
+    os << "{\"schema\":\"zmt-sweep-results-v1\",\"name\":\""
+       << jsonEscape(name) << "\",\"jobs\":" << threads
+       << ",\"wall_seconds\":" << jsonNumber(wallSeconds)
+       << ",\"cells\":[";
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n  ";
+        emitCell(os, jobs[i], outcomes[i]);
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeSweepResultsJson(const std::string &path, const std::string &name,
+                      const std::vector<SweepJob> &jobs,
+                      const std::vector<SweepOutcome> &outcomes,
+                      unsigned threads, double wallSeconds)
+{
+    auto slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0)
+        ::mkdir(path.substr(0, slash).c_str(), 0777); // EEXIST is fine
+
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << sweepResultsJson(name, jobs, outcomes, threads, wallSeconds);
+    return bool(out);
+}
+
+} // namespace zmt

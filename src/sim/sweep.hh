@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Parallel sweep runner.
+ *
+ * The paper's evaluation is a large grid — 8 workloads x 4 mechanisms
+ * x pipeline/width/latency axes plus the multiprogrammed mixes — and
+ * every cell is an independent deterministic simulation (its own
+ * seeded Rng, its own StatGroup tree). SweepRunner fans a job list out
+ * over a std::thread pool and collects PenaltyResults in submission
+ * order, so a parallel sweep's output is byte-identical to a serial
+ * one. Perfect-TLB baselines are memoized process-wide behind the
+ * thread-safe cache in sim/experiment.cc, keyed by the canonical full
+ * serialization of SimParams (see SimParams::canonicalKey), so
+ * concurrent jobs that share a baseline run it exactly once.
+ *
+ * Alongside the paper-style text tables, sweeps can be serialized as
+ * machine-readable JSON (results/bench_<name>.json) carrying per-cell
+ * penalty, speedup inputs, miss counts, cycles, wall-clock and the
+ * exact parameters — a perf trajectory CI archives and diffs.
+ */
+
+#ifndef ZMT_SIM_SWEEP_HH
+#define ZMT_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace zmt
+{
+
+/** One cell of a sweep: a configuration on a workload set. */
+struct SweepJob
+{
+    SimParams params;
+    std::vector<std::string> benchmarks; //!< named benchmarks, or
+    std::vector<WorkloadParams> workloads; //!< explicit workloads
+    std::string label;                   //!< e.g. "fig5/traditional/gcc"
+    bool skipBaseline = false;           //!< no perfect-TLB companion run
+
+    SweepJob() = default;
+    SweepJob(SimParams p, std::vector<std::string> benches,
+             std::string l)
+        : params(std::move(p)), benchmarks(std::move(benches)),
+          label(std::move(l))
+    {}
+    SweepJob(SimParams p, std::vector<WorkloadParams> wls, std::string l,
+             bool skip_baseline = false)
+        : params(std::move(p)), workloads(std::move(wls)),
+          label(std::move(l)), skipBaseline(skip_baseline)
+    {}
+};
+
+/** A job's measurement plus its host-side cost. */
+struct SweepOutcome
+{
+    PenaltyResult result;
+    double wallSeconds = 0.0; //!< host wall-clock for this cell
+};
+
+/**
+ * Executes sweep jobs on a pool of worker threads.
+ *
+ * Determinism contract: each job's result depends only on its own
+ * (params, workloads) — never on scheduling — so run() with any
+ * thread count returns the same vector, in submission order.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = hardware_concurrency. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned threads() const { return numThreads; }
+
+    /** Run every job; results in submission order. */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Generic building block: invoke @p fn(i) for i in [0, count) on
+     * the pool. Each index runs exactly once; no ordering guarantee
+     * between indices, so @p fn must only touch per-index state.
+     */
+    void parallelFor(size_t count,
+                     const std::function<void(size_t)> &fn) const;
+
+  private:
+    unsigned numThreads;
+};
+
+/**
+ * Parse a "--jobs N" / "--jobs=N" flag out of argv (compacting argc),
+ * returning @p fallback when absent. Shared by the bench binaries and
+ * standalone tools so every sweep consumer spells parallelism the
+ * same way.
+ */
+unsigned parseJobsFlag(int &argc, char **argv, unsigned fallback = 0);
+
+/**
+ * Serialize a finished sweep as JSON (schema "zmt-sweep-results-v1"):
+ *
+ *   { "schema": ..., "name": ..., "jobs": N, "wall_seconds": S,
+ *     "cells": [ { "label", "benchmarks", "penalty_per_miss",
+ *                  "tlb_fraction", "ipc", "misses_per_kinst",
+ *                  "mech": {status,cycles,user_insts,tlb_misses,
+ *                           emulations,measured_cycles,measured_insts,
+ *                           measured_misses,ipc},
+ *                  "perfect": {...} | null,
+ *                  "wall_seconds", "params": {dotted-name: value} },
+ *                ... ] }
+ *
+ * "params" carries the exact configuration via
+ * SimParams::forEachParam, so a cell can be re-run bit-identically
+ * from the file alone.
+ */
+std::string sweepResultsJson(const std::string &name,
+                             const std::vector<SweepJob> &jobs,
+                             const std::vector<SweepOutcome> &outcomes,
+                             unsigned threads, double wallSeconds);
+
+/**
+ * Write sweepResultsJson to @p path (creating the parent directory if
+ * it is a simple "dir/file" path). Returns false on I/O failure.
+ */
+bool writeSweepResultsJson(const std::string &path,
+                           const std::string &name,
+                           const std::vector<SweepJob> &jobs,
+                           const std::vector<SweepOutcome> &outcomes,
+                           unsigned threads, double wallSeconds);
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace zmt
+
+#endif // ZMT_SIM_SWEEP_HH

@@ -127,9 +127,23 @@ void
 Distribution::csvRows(std::vector<std::pair<std::string, double>> &rows,
                       const std::string &prefix) const
 {
+    // Full parity with print(): CSV/JSON consumers see the same
+    // histogram a text dump shows — min/max, out-of-range counts and
+    // every non-empty bucket, under the same row names.
     const std::string base = prefix + name();
     rows.emplace_back(base + "::samples", double(count));
     rows.emplace_back(base + "::mean", mean());
+    rows.emplace_back(base + "::min", minSeen);
+    rows.emplace_back(base + "::max", maxSeen);
+    rows.emplace_back(base + "::underflows", double(underflow));
+    for (unsigned i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        double b_lo = lo + i * bucketWidth;
+        rows.emplace_back(base + "::[" + std::to_string(long(b_lo)) + "]",
+                          double(buckets[i]));
+    }
+    rows.emplace_back(base + "::overflows", double(overflow));
 }
 
 void

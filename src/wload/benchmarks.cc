@@ -10,6 +10,8 @@
 
 #include "wload/workload.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace zmt
@@ -180,6 +182,30 @@ shortName(const std::string &bench)
     if (bench == "murphi")    return "mph";
     if (bench == "vortex")    return "vor";
     return bench;
+}
+
+std::string
+canonicalKey(const WorkloadParams &p)
+{
+    std::ostringstream os;
+    os << "name=" << p.name << ";farLoadsPerOuter=" << p.farLoadsPerOuter
+       << ";innerIters=" << p.innerIters
+       << ";farPagesLog2=" << p.farPagesLog2
+       << ";hotBytesLog2=" << p.hotBytesLog2
+       << ";aluChains=" << p.aluChains
+       << ";aluOpsPerChain=" << p.aluOpsPerChain
+       << ";fpChains=" << p.fpChains
+       << ";fpOpsPerChain=" << p.fpOpsPerChain
+       << ";useFpDiv=" << p.useFpDiv << ";fsqrtOps=" << p.fsqrtOps
+       << ";serialMuls=" << p.serialMuls << ";hotLoads=" << p.hotLoads
+       << ";hotStores=" << p.hotStores << ";chaseLoads=" << p.chaseLoads
+       << ";farFeedsChase=" << p.farFeedsChase
+       << ";randomBranches=" << p.randomBranches
+       << ";indirectFarJumps=" << p.indirectFarJumps
+       << ";ifjFarMask=" << p.ifjFarMask << ";seed=" << p.seed
+       << ";textBase=" << p.textBase << ";hotBase=" << p.hotBase
+       << ";farBase=" << p.farBase << ";";
+    return os.str();
 }
 
 } // namespace zmt

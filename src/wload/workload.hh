@@ -91,6 +91,14 @@ const std::vector<std::string> &benchmarkNames();
 /** Short names used in Figure 7's mixes (adm, apl, cmp, ...). */
 std::string shortName(const std::string &bench);
 
+/**
+ * Canonical full serialization of a workload definition — every field
+ * that affects the generated program. Combined with
+ * SimParams::canonicalKey() this uniquely identifies a simulation, so
+ * the sweep runner's caches can key on it safely.
+ */
+std::string canonicalKey(const WorkloadParams &params);
+
 } // namespace zmt
 
 #endif // ZMT_WLOAD_WORKLOAD_HH

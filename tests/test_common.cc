@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/random.hh"
 #include "common/trace.hh"
@@ -178,6 +181,40 @@ TEST(Stats, CsvRows)
     std::ostringstream os;
     root.dumpCsv(os);
     EXPECT_NE(os.str().find("sim.a,3"), std::string::npos);
+}
+
+// csvRows must expose everything print() shows — min/max, the
+// out-of-range counters and every non-empty bucket — so the CSV/JSON
+// side of an experiment carries the full histogram.
+TEST(Stats, DistributionCsvParity)
+{
+    stats::StatGroup root("sim");
+    stats::Distribution dist(&root, "dist", "", 0, 100, 10);
+    dist.sample(-5);   // underflow
+    dist.sample(0);    // bucket [0]
+    dist.sample(9.5);  // bucket [0]
+    dist.sample(55);   // bucket [50]
+    dist.sample(150);  // overflow
+
+    std::vector<std::pair<std::string, double>> rows;
+    root.collect(rows);
+    auto value = [&](const std::string &name) -> double {
+        for (const auto &[row, v] : rows)
+            if (row == name)
+                return v;
+        ADD_FAILURE() << "missing row " << name;
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(value("sim.dist::samples"), 5.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::min"), -5.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::max"), 150.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::underflows"), 1.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::overflows"), 1.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::[0]"), 2.0);
+    EXPECT_DOUBLE_EQ(value("sim.dist::[50]"), 1.0);
+    // Empty buckets stay omitted, matching print().
+    for (const auto &[row, v] : rows)
+        EXPECT_NE(row, "sim.dist::[10]");
 }
 
 TEST(Stats, ResetAllRecurses)

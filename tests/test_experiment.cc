@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "sim/experiment.hh"
 
 namespace
@@ -68,6 +73,92 @@ TEST(Experiment, DifferentShapesGetDifferentBaselines)
     params.core.setWidth(2);
     PenaltyResult narrow = measurePenalty(params, {"murphi"});
     EXPECT_NE(wide.perfect.cycles, narrow.perfect.cycles);
+}
+
+// Regression for the stale-baseline-cache bug: the old cache key
+// serialized a hand-picked subset of SimParams (width, window,
+// frontend depth, run lengths, seed, DTLB entries), so two
+// configurations that differed only in an omitted field — memory
+// latency, cache geometry, predictor shape — silently shared one
+// baseline. The canonical key serializes every field; mutating any of
+// these previously-omitted knobs must change it.
+TEST(Experiment, CanonicalKeyCoversPreviouslyOmittedFields)
+{
+    const std::string base = SimParams().canonicalKey();
+    const std::vector<
+        std::pair<const char *, std::function<void(SimParams &)>>>
+        mutations = {
+            {"mem.memLatency",
+             [](SimParams &p) { p.mem.memLatency = 300; }},
+            {"mem.l2SizeKb", [](SimParams &p) { p.mem.l2SizeKb = 4096; }},
+            {"mem.l2Latency", [](SimParams &p) { p.mem.l2Latency = 25; }},
+            {"mem.l1dSizeKb", [](SimParams &p) { p.mem.l1dSizeKb = 128; }},
+            {"mem.l1dLineBytes",
+             [](SimParams &p) { p.mem.l1dLineBytes *= 2; }},
+            {"bpred.historyBits",
+             [](SimParams &p) { p.bpred.historyBits += 1; }},
+            {"core.fetchBufEntries",
+             [](SimParams &p) { p.core.fetchBufEntries = 64; }},
+            {"core.intAluCount",
+             [](SimParams &p) { p.core.intAluCount += 1; }},
+            {"except.quickStartWarmup",
+             [](SimParams &p) { p.except.quickStartWarmup += 8; }},
+            {"except.idleThreads",
+             [](SimParams &p) { p.except.idleThreads += 1; }},
+            {"verify.badPteProb",
+             [](SimParams &p) { p.verify.badPteProb = 0.125; }},
+            {"watchdogCycles",
+             [](SimParams &p) { p.watchdogCycles += 1; }},
+        };
+    for (const auto &[what, mutate] : mutations) {
+        SimParams mutated;
+        mutate(mutated);
+        EXPECT_NE(mutated.canonicalKey(), base) << what;
+    }
+}
+
+TEST(Experiment, CanonicalKeyEnumeratesWholeParamSpace)
+{
+    SimParams params;
+    const std::string key = params.canonicalKey();
+    params.forEachParam(
+        [&](const std::string &name, const std::string &value) {
+            EXPECT_NE(key.find(name + "=" + value + ";"),
+                      std::string::npos)
+                << name;
+        });
+}
+
+// End-to-end version of the same regression: two penalty measurements
+// that differ only in memory latency must each get their own baseline
+// run, with visibly different perfect-TLB cycle counts.
+TEST(Experiment, OmittedFieldMutationGetsFreshBaseline)
+{
+    clearBaselineCache();
+    SimParams params;
+    params.maxInsts = 15000;
+    params.except.mech = ExceptMech::Traditional;
+
+    PenaltyResult fast = measurePenalty(params, {"compress"});
+    EXPECT_EQ(baselineCacheSize(), 1u);
+    params.mem.memLatency = 400;
+    PenaltyResult slow = measurePenalty(params, {"compress"});
+    EXPECT_EQ(baselineCacheSize(), 2u);
+    EXPECT_NE(fast.perfect.measuredCycles, slow.perfect.measuredCycles);
+}
+
+// A perfect-TLB configuration is its own baseline: one simulation,
+// reported as both mech and perfect, with zero penalty.
+TEST(Experiment, PerfectTlbMechReusesBaseline)
+{
+    clearBaselineCache();
+    SimParams params;
+    params.maxInsts = 15000;
+    params.except.mech = ExceptMech::PerfectTlb;
+    PenaltyResult r = measurePenalty(params, {"compress"});
+    EXPECT_EQ(baselineCacheSize(), 1u);
+    EXPECT_EQ(r.mech.cycles, r.perfect.cycles);
+    EXPECT_DOUBLE_EQ(r.penaltyPerMiss(), 0.0);
 }
 
 TEST(Experiment, Figure7MixesAreValid)

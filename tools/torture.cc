@@ -12,19 +12,29 @@
  * Fully deterministic: every run's configuration derives from
  * (sweep seed, run index), and a failing run prints the key=value
  * settings needed to reproduce it alone (rerun with only=<index>).
+ * Runs execute in parallel on the sweep-runner thread pool (jobs=N,
+ * default one worker per core); each run is independent, results are
+ * collected and reported in index order, so the output is identical
+ * for any jobs value.
  *
  * Usage: torture [runs=200] [seed=1] [insts=8000] [only=-1]
- *                [require_coverage=1] [verbose=0]
+ *                [require_coverage=1] [verbose=0] [jobs=0]
+ *                [json=results/torture.json]
  */
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "common/random.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "verify/diffcheck.hh"
 
 using namespace zmt;
@@ -165,14 +175,43 @@ parseArg(const char *arg, const char *key, uint64_t fallback, bool *found)
     return std::strtoull(s.c_str() + prefix.size(), nullptr, 0);
 }
 
+std::string
+parseStrArg(const char *arg, const char *key, std::string fallback,
+            bool *found)
+{
+    std::string s(arg);
+    std::string prefix = std::string(key) + "=";
+    if (s.rfind(prefix, 0) != 0)
+        return fallback;
+    *found = true;
+    return s.substr(prefix.size());
+}
+
+/** Everything one run produces; filled by a worker thread, consumed
+ *  by the in-order reporting loop on the main thread. */
+struct RunOutcome
+{
+    std::string desc;
+    bool failed = false;
+    std::string why;
+    uint64_t cycles = 0;
+    uint64_t misses = 0;
+    double hardReverts = 0;
+    double deadlockSquashes = 0;
+    double relinks = 0;
+    double mtFallbacks = 0;
+    double handlerSquashes = 0;
+};
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     uint64_t runs = 200, sweep_seed = 1, base_insts = 8000;
-    uint64_t require_coverage = 1, verbose = 0;
+    uint64_t require_coverage = 1, verbose = 0, jobs = 0;
     int64_t only = -1;
+    std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
         bool ok = false;
@@ -182,6 +221,8 @@ main(int argc, char **argv)
         require_coverage =
             parseArg(argv[i], "require_coverage", require_coverage, &ok);
         verbose = parseArg(argv[i], "verbose", verbose, &ok);
+        jobs = parseArg(argv[i], "jobs", jobs, &ok);
+        json_path = parseStrArg(argv[i], "json", json_path, &ok);
         bool only_set = false;
         uint64_t o = parseArg(argv[i], "only", 0, &only_set);
         if (only_set) {
@@ -191,7 +232,8 @@ main(int argc, char **argv)
         if (!ok) {
             std::fprintf(stderr,
                          "usage: torture [runs=N] [seed=N] [insts=N] "
-                         "[only=N] [require_coverage=0|1] [verbose=0|1]\n");
+                         "[only=N] [require_coverage=0|1] [verbose=0|1] "
+                         "[jobs=N] [json=PATH]\n");
             return 2;
         }
     }
@@ -202,51 +244,79 @@ main(int argc, char **argv)
 
     uint64_t first = only >= 0 ? uint64_t(only) : 0;
     uint64_t last = only >= 0 ? uint64_t(only) + 1 : runs;
-    for (uint64_t i = first; i < last; ++i) {
+
+    // Fan the runs out over the worker pool. Each run is a fully
+    // independent deterministic simulation keyed by (seed, index);
+    // workers only write their own outcome slot, and all reporting
+    // happens afterwards in index order, so output is identical for
+    // any jobs count.
+    std::vector<RunOutcome> outcomes(size_t(last - first));
+    SweepRunner runner{unsigned(jobs)};
+    auto start = std::chrono::steady_clock::now();
+    runner.parallelFor(outcomes.size(), [&](size_t k) {
+        uint64_t i = first + k;
         RunConfig cfg = makeConfig(sweep_seed, i, base_insts);
         Simulator sim(cfg.params, cfg.workloads);
         CoreResult result = sim.run();
-        ++executed;
 
-        bool failed = false;
-        std::string why;
+        RunOutcome &out = outcomes[k];
+        out.desc = cfg.desc;
+        out.cycles = uint64_t(result.cycles);
+        out.misses = result.tlbMisses;
         if (!result.ok()) {
-            failed = true;
-            why = std::string(runStatusName(result.status)) + ": " +
-                  result.error;
+            out.failed = true;
+            out.why = std::string(runStatusName(result.status)) + ": " +
+                      result.error;
         } else {
             DiffResult diff = diffAgainstGolden(sim);
             if (!diff.ok()) {
-                failed = true;
-                why = "golden-model divergence: " + diff.summary();
+                out.failed = true;
+                out.why = "golden-model divergence: " + diff.summary();
             }
         }
+        out.hardReverts = coreStat(sim, "hardReverts");
+        out.deadlockSquashes = coreStat(sim, "deadlockSquashes");
+        out.relinks = coreStat(sim, "relinks");
+        out.mtFallbacks = coreStat(sim, "mtFallbacks");
+        out.handlerSquashes =
+            coreStat(sim, "verify.injectedHandlerSquashes");
+    });
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
 
-        hardReverts.note(coreStat(sim, "hardReverts"));
-        deadlockSquashes.note(coreStat(sim, "deadlockSquashes"));
-        relinks.note(coreStat(sim, "relinks"));
-        mtFallbacks.note(coreStat(sim, "mtFallbacks"));
-        handlerSquashes.note(
-            coreStat(sim, "verify.injectedHandlerSquashes"));
+    for (size_t k = 0; k < outcomes.size(); ++k) {
+        const RunOutcome &out = outcomes[k];
+        uint64_t i = first + k;
+        ++executed;
+
+        hardReverts.note(out.hardReverts);
+        deadlockSquashes.note(out.deadlockSquashes);
+        relinks.note(out.relinks);
+        mtFallbacks.note(out.mtFallbacks);
+        handlerSquashes.note(out.handlerSquashes);
         invariantAudits.note(1.0); // every run audited per cycle
 
-        if (failed) {
+        if (out.failed) {
             ++failures;
             std::fprintf(stderr,
                          "FAIL run=%" PRIu64 " seed=%" PRIu64 " [%s]\n"
                          "     %s\n"
                          "     reproduce: torture seed=%" PRIu64
                          " only=%" PRIu64 "\n",
-                         i, sweep_seed, cfg.desc.c_str(), why.c_str(),
-                         sweep_seed, i);
+                         i, sweep_seed, out.desc.c_str(),
+                         out.why.c_str(), sweep_seed, i);
         } else if (verbose) {
             std::printf("ok   run=%" PRIu64 " [%s] cycles=%" PRIu64
                         " misses=%" PRIu64 "\n",
-                        i, cfg.desc.c_str(), uint64_t(result.cycles),
-                        result.tlbMisses);
+                        i, out.desc.c_str(), out.cycles, out.misses);
         }
     }
 
+    // Wall-clock and thread count go to stderr so stdout is
+    // byte-identical for any jobs value.
+    std::fprintf(stderr, "# %" PRIu64 " runs on %u threads in %.1fs\n",
+                 executed, runner.threads(), wall);
     std::printf("\n=== torture sweep: %" PRIu64 " runs, seed %" PRIu64
                 " ===\n",
                 executed, sweep_seed);
@@ -260,6 +330,43 @@ main(int argc, char **argv)
     report("mtFallbacks", mtFallbacks);
     report("injectedHandlerSquash", handlerSquashes);
     std::printf("  failures: %" PRIu64 "\n", failures);
+
+    if (!json_path.empty()) {
+        std::ostringstream os;
+        os << "{\"schema\":\"zmt-torture-results-v1\",\"runs\":"
+           << executed << ",\"seed\":" << sweep_seed
+           << ",\"jobs\":" << runner.threads()
+           << ",\"wall_seconds\":" << wall
+           << ",\"failures\":" << failures << ",\"coverage\":{"
+           << "\"hardReverts\":" << hardReverts.total
+           << ",\"deadlockSquashes\":" << deadlockSquashes.total
+           << ",\"relinks\":" << relinks.total
+           << ",\"mtFallbacks\":" << mtFallbacks.total
+           << ",\"injectedHandlerSquashes\":" << handlerSquashes.total
+           << "},\"cells\":[";
+        for (size_t k = 0; k < outcomes.size(); ++k) {
+            const RunOutcome &out = outcomes[k];
+            os << (k ? "," : "") << "\n  {\"run\":" << first + k
+               << ",\"failed\":" << (out.failed ? "true" : "false")
+               << ",\"cycles\":" << out.cycles
+               << ",\"tlb_misses\":" << out.misses << ",\"desc\":\""
+               << jsonEscape(out.desc) << "\"";
+            if (out.failed)
+                os << ",\"why\":\"" << jsonEscape(out.why) << "\"";
+            os << "}";
+        }
+        os << "\n]}\n";
+        auto slash = json_path.rfind('/');
+        if (slash != std::string::npos && slash > 0)
+            ::mkdir(json_path.substr(0, slash).c_str(), 0777);
+        std::ofstream json_out(json_path);
+        json_out << os.str();
+        if (json_out)
+            std::printf("  wrote %s\n", json_path.c_str());
+        else
+            std::fprintf(stderr, "error: could not write %s\n",
+                         json_path.c_str());
+    }
 
     if (failures > 0)
         return 1;
