@@ -43,6 +43,8 @@ configParams(const Config &config)
     return params;
 }
 
+void attribSummary();
+
 void
 summary()
 {
@@ -78,6 +80,43 @@ summary()
                 "multithreaded(3) > hardware;\nthe multithreaded "
                 "mechanism roughly halves the traditional penalty "
                 "(paper Section 5.3).\n");
+
+    if (benchConfig().attrib)
+        attribSummary();
+}
+
+void
+attribSummary()
+{
+    // Where the handling cycles go, per mechanism, summed across the
+    // benchmarks (cycles per completed handling).
+    Table table("Figure 5 addendum: penalty attribution "
+                "(cycles per handling)");
+    std::vector<std::string> header{"config", "handlings"};
+    for (unsigned c = 0; c < obs::NumAttribCats; ++c)
+        header.push_back(obs::attribCatName(obs::AttribCat(c)));
+    header.push_back("total");
+    table.header(header);
+
+    for (const auto &config : configs) {
+        obs::AttribSummary sum;
+        for (const auto &bench : benchmarkNames()) {
+            const obs::AttribSummary &a =
+                runCached(configParams(config), {bench}).mech.attrib;
+            sum.completed += a.completed;
+            sum.aborted += a.aborted;
+            sum.spanCycles += a.spanCycles;
+            for (unsigned c = 0; c < obs::NumAttribCats; ++c)
+                sum.cycles[c] += a.cycles[c];
+        }
+        std::vector<std::string> row{config.label,
+                                     std::to_string(sum.completed)};
+        for (unsigned c = 0; c < obs::NumAttribCats; ++c)
+            row.push_back(fmt(sum.perHandling(obs::AttribCat(c))));
+        row.push_back(fmt(sum.spanPerHandling()));
+        table.row(row);
+    }
+    table.print();
 }
 
 } // anonymous namespace

@@ -58,6 +58,7 @@ struct BenchConfig
     uint64_t warmup = BenchWarmup;
     std::string jsonPath;        //!< empty = results/<binary>.json
     bool emitJson = true;
+    bool attrib = false;         //!< per-exception penalty attribution
 };
 
 inline BenchConfig &
@@ -98,6 +99,8 @@ benchParseArgs(int &argc, char **argv)
             config.jsonPath = j;
         } else if (std::strcmp(argv[i], "--no-json") == 0) {
             config.emitJson = false;
+        } else if (std::strcmp(argv[i], "--attrib") == 0) {
+            config.attrib = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -113,6 +116,10 @@ baseParams()
     SimParams params;
     params.maxInsts = benchConfig().insts;
     params.warmupInsts = benchConfig().warmup;
+    // --attrib: every measured run carries the penalty-attribution
+    // sink (the perfect-TLB baselines stay obs-free — experiment.cc
+    // clears obs on the baseline copy).
+    params.obs.attrib = benchConfig().attrib;
     return params;
 }
 

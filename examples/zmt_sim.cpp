@@ -3,7 +3,8 @@
  * General-purpose simulator driver: pick benchmarks and machine
  * parameters on the command line, run, and dump every statistic.
  *
- *   $ ./zmt_sim [--stats] [--csv] [key=value ...] bench [bench ...]
+ *   $ ./zmt_sim [--stats] [--csv] [--attrib] [--pipeview=FILE]
+ *               [--events=FILE] [key=value ...] bench [bench ...]
  *
  * Examples:
  *   ./zmt_sim compress
@@ -40,6 +41,12 @@ main(int argc, char **argv)
             dump_csv = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
             trace::setTraceFlags(arg.substr(8));
+        } else if (arg == "--attrib") {
+            params.obs.attrib = true;
+        } else if (arg.rfind("--pipeview=", 0) == 0) {
+            params.obs.pipeview = arg.substr(11);
+        } else if (arg.rfind("--events=", 0) == 0) {
+            params.obs.events = arg.substr(9);
         } else if (arg.find('=') != std::string::npos) {
             params.setKeyValue(arg);
         } else {
@@ -48,8 +55,9 @@ main(int argc, char **argv)
     }
     if (benches.empty()) {
         std::fprintf(stderr,
-                     "usage: %s [--stats] [--csv] [--trace=exc,...] "
-                     "[key=value ...] bench...\n"
+                     "usage: %s [--stats] [--csv] [--attrib] "
+                     "[--pipeview=FILE] [--events=FILE] "
+                     "[--trace=exc,...] [key=value ...] bench...\n"
                      "benchmarks: alphadoom applu compress deltablue gcc "
                      "hydro2d murphi vortex\n",
                      argv[0]);
@@ -79,6 +87,8 @@ main(int argc, char **argv)
                           double(result.measuredInsts)
                     : 0.0);
 
+    if (params.obs.anyEnabled())
+        obs::printAttribTable(stdout, result.attrib);
     if (dump_stats)
         sim.dumpStats(std::cout);
     if (dump_csv)

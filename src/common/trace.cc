@@ -78,6 +78,25 @@ flagName(Flag flag)
     return "?";
 }
 
+namespace
+{
+
+thread_local std::string threadRunLabel;
+
+} // anonymous namespace
+
+void
+setRunLabel(const std::string &label)
+{
+    threadRunLabel = label;
+}
+
+const std::string &
+runLabel()
+{
+    return threadRunLabel;
+}
+
 void
 print(Cycle cycle, Flag flag, const char *fmt, ...)
 {
@@ -86,8 +105,14 @@ print(Cycle cycle, Flag flag, const char *fmt, ...)
     char buf[512];
     std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
-    std::fprintf(stderr, "%10llu: %-8s: %s\n",
-                 (unsigned long long)cycle, flagName(flag), buf);
+    if (threadRunLabel.empty()) {
+        std::fprintf(stderr, "%10llu: %-8s: %s\n",
+                     (unsigned long long)cycle, flagName(flag), buf);
+    } else {
+        std::fprintf(stderr, "[%s] %10llu: %-8s: %s\n",
+                     threadRunLabel.c_str(), (unsigned long long)cycle,
+                     flagName(flag), buf);
+    }
 }
 
 } // namespace zmt::trace

@@ -56,9 +56,20 @@ enabled(Flag flag)
     return (activeFlags.load(std::memory_order_relaxed) & flag) != 0;
 }
 
-/** Emit one trace line: "<cycle>: <tag>: <message>". */
+/** Emit one trace line: "[label] <cycle>: <tag>: <message>". */
 [[gnu::format(printf, 3, 4)]]
 void print(Cycle cycle, Flag flag, const char *fmt, ...);
+
+/**
+ * Attach a label to every trace line printed by *this thread* (empty
+ * string to clear). Sweep workers running concurrent simulations set
+ * their job label so interleaved ZTRACE output on stderr stays
+ * attributable to a run.
+ */
+void setRunLabel(const std::string &label);
+
+/** This thread's current run label ("" if unset). */
+const std::string &runLabel();
 
 /** Name of a single flag bit (for output tags). */
 const char *flagName(Flag flag);

@@ -238,6 +238,14 @@ SimParams::set(const std::string &key, const std::string &value)
     }
     if (key == "verify.mutateSpliceBug") { verify.mutateSpliceBug = b(); return; }
 
+    if (key == "obs.pipeview") { obs.pipeview = value; return; }
+    if (key == "obs.events") { obs.events = value; return; }
+    if (key == "obs.attrib") { obs.attrib = b(); return; }
+    if (key == "obs.ringCapacity") {
+        obs.ringCapacity = unsigned(u());
+        return;
+    }
+
     if (key == "maxInsts") { maxInsts = u(); return; }
     if (key == "warmupInsts") { warmupInsts = u(); return; }
     if (key == "seed") { seed = u(); return; }
@@ -336,6 +344,15 @@ SimParams::forEachParam(
     u("verify.squeezeWindowTo", verify.squeezeWindowTo);
     u("verify.handlerSquashPeriod", verify.handlerSquashPeriod);
     b("verify.mutateSpliceBug", verify.mutateSpliceBug);
+
+    // Observability never changes simulated behavior, but the field
+    // list stays exhaustive per the contract above; experiment.cc
+    // clears obs on its perfect-TLB baseline copy so baseline sharing
+    // is unaffected by per-run trace paths.
+    fn("obs.pipeview", obs.pipeview);
+    fn("obs.events", obs.events);
+    b("obs.attrib", obs.attrib);
+    u("obs.ringCapacity", obs.ringCapacity);
 
     u("maxInsts", maxInsts);
     u("warmupInsts", warmupInsts);

@@ -222,6 +222,35 @@ struct VerifyParams
     }
 };
 
+/**
+ * Observability parameters (src/obs): pipeline event logging, penalty
+ * attribution and trace exporters. All off by default; when disabled
+ * the core holds no EventLog and each stage hook costs one branch.
+ */
+struct ObsParams
+{
+    /** Konata pipeline-trace output path ("" = off). */
+    std::string pipeview;
+
+    /** Chrome trace-event JSON output path ("" = off). */
+    std::string events;
+
+    /** Collect per-category penalty attribution (CoreResult::attrib,
+     *  the obs.* stats group, sweep JSON columns). Implied by
+     *  `events`. */
+    bool attrib = false;
+
+    /** Events retained for the pipeline view (rounded to a power of
+     *  two). Older events fall off; attribution never does. */
+    unsigned ringCapacity = 1u << 20;
+
+    bool
+    anyEnabled() const
+    {
+        return attrib || !pipeview.empty() || !events.empty();
+    }
+};
+
 /** Top-level simulation parameters. */
 struct SimParams
 {
@@ -231,6 +260,7 @@ struct SimParams
     BpredParams bpred;
     ExceptParams except;
     VerifyParams verify;
+    ObsParams obs;
 
     /** Stop after this many retired user-mode instructions (total). */
     uint64_t maxInsts = 1'000'000;

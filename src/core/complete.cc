@@ -37,6 +37,7 @@ void
 SmtCore::completeInst(const InstPtr &inst)
 {
     inst->status = InstStatus::Done;
+    obsEmit(obs::EventKind::Completed, *inst);
 
     for (const InstPtr &dep : inst->dependents) {
         if (!dep->squashed() && dep->depsPending > 0)
@@ -106,6 +107,7 @@ SmtCore::onTlbwrExecute(const InstPtr &inst)
     ZTRACE(curCycle, Exc, "t%d TLBWR fill asn=%u va=%#llx",
            int(inst->tid), unsigned(asn),
            (unsigned long long)inst->tlbTag);
+    obsEmit(obs::EventKind::Fill, *inst, inst->tlbTag);
     tlb->insert(asn, inst->tlbTag);
     installFill(asn, inst->tlbTag);
 }
@@ -124,6 +126,7 @@ SmtCore::installFill(Asn asn, Addr va)
         if (wctx.proc && wctx.proc->asn() == asn &&
             pageNum(waiter->effVa) == vpn &&
             waiter->status == InstStatus::TlbWait) {
+            obsEmit(obs::EventKind::Wake, *waiter, vpn);
             waiter->status = InstStatus::InWindow; // re-schedule
             it = parked.erase(it);
         } else {
@@ -144,6 +147,7 @@ SmtCore::onRfeExecute(const InstPtr &inst)
     // Traditional inline handler: redirect fetch back to the faulting
     // instruction. The target was not predicted (no RAS-like mechanism
     // for exception returns, Section 3), so the pipe refills from here.
+    obsEmit(obs::EventKind::HandlerRet, *inst);
     ctx.fetchPal = false;
     ctx.fetchPc = ctx.pendingReturnPc;
     ctx.stalledRfe = false;
@@ -169,6 +173,7 @@ SmtCore::onHardexcExecute(const InstPtr &inst)
     ExcRecord *record = recordForHandler(ctx.id);
     panic_if(!record, "handler context with no exception record");
     ++hardReverts;
+    obsEmitTid(obs::EventKind::Revert, ctx.id, uint64_t(record->master));
     ZTRACE(curCycle, Exc, "HARDEXC revert: handler ctx=%d master=%d",
            int(ctx.id), int(record->master));
 
@@ -185,20 +190,33 @@ SmtCore::onHardexcExecute(const InstPtr &inst)
     master.pendingReturnPc = fault_pc;
     master.fetchPal = true;
     master.fetchPc = pal.dtbMissEntry;
+    // The reversion re-runs the handling inline: open a fresh trap
+    // handling on the master (the reversion path bypasses
+    // trapTraditional, which would otherwise emit this).
+    obsEmitTid(obs::EventKind::Trap, master.id, pageNum(fault_va),
+               fault->seq);
 }
 
 void
 SmtCore::processWalker()
 {
     for (const WalkResult &walk : walker->collectFinished(curCycle)) {
-        if (walk.squashed)
+        uint64_t key = obs::walkKey(walk.asn, pageNum(walk.va));
+        if (walk.squashed) {
+            obsEmitTid(obs::EventKind::WalkAbort, InvalidThreadID, key,
+                       walk.faultSeq);
             continue; // paper: fill only if not squashed by completion
+        }
         uint64_t pte = physMem.read64(walk.pteAddr);
         if (!Pte::valid(pte)) {
             // Wild wrong-path walk found an invalid PTE: no fill; the
             // parked instruction dies with its squash.
+            obsEmitTid(obs::EventKind::WalkAbort, InvalidThreadID, key,
+                       walk.faultSeq);
             continue;
         }
+        obsEmitTid(obs::EventKind::WalkDone, InvalidThreadID, key,
+                   walk.faultSeq);
         tlb->insert(walk.asn, walk.va);
         installFill(walk.asn, walk.va);
     }
@@ -253,6 +271,7 @@ SmtCore::onEmulFault(const InstPtr &inst)
 {
     ++emulFaultsSeen;
     inst->emulFault = true;
+    obsEmit(obs::EventKind::EmulDetect, *inst);
 
     switch (params.except.mech) {
       case ExceptMech::PerfectTlb:
@@ -283,6 +302,7 @@ SmtCore::onEmulwrExecute(const InstPtr &inst)
     // scheduled normally (paper Section 6).
     ExcRecord *record = recordForHandler(ctx.id);
     panic_if(!record, "EMULWR in a handler without a record");
+    obsEmit(obs::EventKind::Fill, *inst);
     InstPtr fault = record->faultInst;
     if (fault && fault->status == InstStatus::TlbWait &&
         !fault->squashed()) {
@@ -304,6 +324,7 @@ SmtCore::onTlbMiss(const InstPtr &inst)
     Asn asn = asnOf(ctx);
     Addr vpn = pageNum(inst->effVa);
     ++tlbMissesSeen;
+    obsEmit(obs::EventKind::MissDetect, *inst, vpn);
     ZTRACE(curCycle, Exc, "t%d DTLB miss seq=%llu pc=%#llx va=%#llx",
            int(ctx.id), (unsigned long long)inst->seq,
            (unsigned long long)inst->pc,
@@ -321,12 +342,16 @@ SmtCore::onTlbMiss(const InstPtr &inst)
       case ExceptMech::Hardware: {
         if (walker->walking(asn, inst->effVa)) {
             walker->relink(asn, inst->effVa, inst->seq);
+            obsEmit(obs::EventKind::Park, *inst, vpn);
             parked.push_back(inst);
             return;
         }
         inst->causedTlbMiss = true;
         Addr pte_addr = ctx.proc->space().pteAddr(inst->effVa);
         walker->startWalk(asn, inst->effVa, pte_addr, inst->seq);
+        obsEmit(obs::EventKind::WalkStart, *inst,
+                obs::walkKey(asn, vpn));
+        obsEmit(obs::EventKind::Park, *inst, vpn);
         parked.push_back(inst);
         return;
       }
@@ -341,6 +366,9 @@ SmtCore::onTlbMiss(const InstPtr &inst)
                     // excepting instruction: the splice point moves.
                     record->faultInst = inst;
                     ++relinks;
+                    obsEmitTid(obs::EventKind::Relink, record->handler,
+                               vpn, inst->seq);
+                    obsEmit(obs::EventKind::Park, *inst, vpn);
                     parked.push_back(inst);
                 } else {
                     // Without relinking: squash and re-fetch at the
@@ -349,6 +377,7 @@ SmtCore::onTlbMiss(const InstPtr &inst)
                     trapTraditional(inst, ExcKind::TlbMiss);
                 }
             } else {
+                obsEmit(obs::EventKind::Park, *inst, vpn);
                 parked.push_back(inst);
             }
             return;
@@ -380,6 +409,7 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
         // More exceptions than idle contexts: revert to the
         // traditional mechanism (the paper's advocated option).
         ++mtFallbacks;
+        obsEmit(obs::EventKind::Fallback, *inst);
         trapTraditional(inst, kind);
         return;
     }
@@ -388,6 +418,8 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
     ZTRACE(curCycle, Exc, "spawn %s handler ctx=%d master=%d fault=%llu",
            kind == ExcKind::TlbMiss ? "dtbmiss" : "emul", int(idle->id),
            int(master.id), (unsigned long long)inst->seq);
+    obsEmit(obs::EventKind::Spawn, *inst, uint64_t(idle->id),
+            kind == ExcKind::EmulFsqrt ? obs::EvEmul : 0);
     if (kind == ExcKind::TlbMiss)
         inst->causedTlbMiss = true;
 
@@ -425,6 +457,8 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
         params.except.windowReservation ? handlerLen(kind) : 0;
     records.push_back(std::move(record));
 
+    obsEmit(obs::EventKind::Park, *inst,
+            kind == ExcKind::TlbMiss ? pageNum(inst->effVa) : 0);
     parked.push_back(inst);
 
     if (params.except.instantHandlerFetch) {
@@ -448,9 +482,11 @@ SmtCore::spawnMtHandler(const InstPtr &inst, ExcKind kind)
             ++qsTypeMispredicts;
         if (curCycle >= h.warmReadyAt && right_type) {
             ++qsWarmStarts;
+            obsEmitTid(obs::EventKind::QsWarm, h.id);
             prefillQuickStart(h);
         } else {
             ++qsColdStarts; // falls back to normal handler fetch
+            obsEmitTid(obs::EventKind::QsCold, h.id);
         }
         predictedExcType = kind;
     }
@@ -467,6 +503,9 @@ SmtCore::trapTraditional(const InstPtr &inst, ExcKind kind)
            int(ctx.id), kind == ExcKind::TlbMiss ? "dtbmiss" : "emul",
            (unsigned long long)inst->seq, (unsigned long long)inst->pc,
            (unsigned long long)inst->effVa);
+    obsEmit(obs::EventKind::Trap, *inst,
+            kind == ExcKind::TlbMiss ? pageNum(inst->effVa) : 0,
+            kind == ExcKind::EmulFsqrt ? obs::EvEmul : 0);
     Addr fault_va = inst->effVa;
     Addr fault_pc = inst->pc;
     BpredCheckpoint chk = inst->bpChk;

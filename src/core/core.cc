@@ -104,6 +104,17 @@ SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
     }
     if (params.verify.invariantPeriod > 0)
         checker = std::make_unique<InvariantChecker>(*this);
+
+    if (params.obs.anyEnabled()) {
+        // The ring (and disassembly labels) exist only for the
+        // pipeline view; attribution consumes the stream online via
+        // the sink and is immune to ring overflow.
+        bool want_ring = !params.obs.pipeview.empty();
+        obsLog = std::make_unique<obs::EventLog>(
+            want_ring ? params.obs.ringCapacity : 0, want_ring);
+        obsTl = std::make_unique<obs::ExcTimeline>(this);
+        obsLog->attachSink(obsTl.get());
+    }
 }
 
 SmtCore::~SmtCore()
@@ -276,6 +287,12 @@ SmtCore::run()
 
     auto snapshot = [&] {
         CoreResult result;
+        if (obsTl) {
+            // Handlings still open when the run ends are aborted, not
+            // attributed (no more events are coming to close them).
+            obsTl->finish(curCycle);
+            result.attrib = obsTl->summary();
+        }
         result.cycles = curCycle;
         result.userInsts = totalRetiredUser();
         result.tlbMisses = uint64_t(tlbMisses.value());

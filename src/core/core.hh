@@ -33,6 +33,8 @@
 #include "kernel/pal.hh"
 #include "kernel/process.hh"
 #include "mem/hierarchy.hh"
+#include "obs/eventlog.hh"
+#include "obs/timeline.hh"
 #include "tlb/tlb.hh"
 #include "tlb/walker.hh"
 #include "verify/faultinject.hh"
@@ -68,6 +70,10 @@ struct CoreResult
     Cycle measuredCycles = 0;
     uint64_t measuredInsts = 0;
     uint64_t measuredMisses = 0;
+
+    /** Per-category penalty attribution (all-zero unless obs.attrib
+     *  or an event export was enabled for the run). */
+    obs::AttribSummary attrib;
 
     bool ok() const { return status == RunStatus::Ok; }
 };
@@ -117,6 +123,13 @@ class SmtCore : public stats::StatGroup
 
     /** The invariant checker, when verify.invariantPeriod > 0. */
     const InvariantChecker *invariants() const { return checker.get(); }
+
+    /** The pipeline event log, when obs.* enables one (else null). */
+    obs::EventLog *eventLog() { return obsLog.get(); }
+    const obs::EventLog *eventLog() const { return obsLog.get(); }
+
+    /** The exception-timeline analyzer (null unless obs is enabled). */
+    const obs::ExcTimeline *excTimeline() const { return obsTl.get(); }
 
     // --- Statistics ------------------------------------------------------
     stats::Scalar numCycles;
@@ -324,6 +337,30 @@ class SmtCore : public stats::StatGroup
     // Verification layer (null unless verify.* enables it).
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<InvariantChecker> checker;
+
+    // Observability layer (null unless obs.* enables it). The stage
+    // hooks below compile to one predicted-not-taken branch when off.
+    std::unique_ptr<obs::EventLog> obsLog;
+    std::unique_ptr<obs::ExcTimeline> obsTl;
+
+    void
+    obsEmit(obs::EventKind kind, const DynInst &inst, uint64_t arg = 0,
+            uint8_t extra_flags = 0)
+    {
+        if (obsLog) [[unlikely]] {
+            obsLog->emit({curCycle, inst.seq, arg, inst.tid, kind,
+                          uint8_t((inst.palMode ? obs::EvPalMode : 0) |
+                                  extra_flags)});
+        }
+    }
+
+    void
+    obsEmitTid(obs::EventKind kind, ThreadID tid, uint64_t arg = 0,
+               SeqNum seq = 0, uint8_t flags = 0)
+    {
+        if (obsLog) [[unlikely]]
+            obsLog->emit({curCycle, seq, arg, tid, kind, flags});
+    }
 
     std::vector<ExcRecord> records;
     std::vector<InstPtr> parked; //!< instructions waiting on a TLB fill

@@ -374,6 +374,7 @@ SmtCore::dispatchInst(ThreadCtx &ctx, const InstPtr &inst)
     inst->windowAt = curCycle;
     inst->status = InstStatus::InWindow;
     insertIntoWindow(inst);
+    obsEmit(obs::EventKind::Dispatched, *inst);
 
     if (ctx.isHandler()) {
         if (ExcRecord *record = recordForHandler(ctx.id)) {
@@ -432,6 +433,8 @@ SmtCore::handlerWindowDeadlock(ThreadCtx &handler_ctx)
         return; // nothing squashable: stall the handler
 
     ++deadlockSquashes;
+    obsEmitTid(obs::EventKind::DeadlockSquash, master.id, needed,
+               oldest_victim->seq);
     ZTRACE(curCycle, Dispatch,
            "deadlock squash: master=%d victims>=%llu need=%u",
            int(master.id), (unsigned long long)oldest_victim->seq, needed);

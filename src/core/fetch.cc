@@ -134,6 +134,11 @@ SmtCore::fetchFromThread(ThreadCtx &ctx, unsigned budget)
 
         isa::InstWord word = readInstWord(ctx, pc);
         InstPtr inst = createFetchedInst(ctx, pc, word, fetch_done);
+        if (obsLog) [[unlikely]] {
+            obsEmit(obs::EventKind::Fetched, *inst);
+            if (obsLog->wantLabels())
+                obsLog->setLabel(inst->seq, isa::disassemble(inst->di));
+        }
 
         ctx.fetchBuf.push_back(inst);
         ctx.inflight.push_back(inst);
@@ -197,6 +202,11 @@ SmtCore::prefillQuickStart(ThreadCtx &ctx)
         Addr pc = ctx.fetchPc;
         isa::InstWord word = readInstWord(ctx, pc);
         InstPtr inst = createFetchedInst(ctx, pc, word, curCycle);
+        if (obsLog) [[unlikely]] {
+            obsEmit(obs::EventKind::Fetched, *inst, 0, obs::EvPrefill);
+            if (obsLog->wantLabels())
+                obsLog->setLabel(inst->seq, isa::disassemble(inst->di));
+        }
         ctx.fetchBuf.push_back(inst);
         ctx.inflight.push_back(inst);
         ++ctx.icount;

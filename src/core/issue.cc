@@ -151,6 +151,7 @@ SmtCore::issueInst(const InstPtr &inst)
 
     inst->status = InstStatus::Issued;
     inst->doneAt = done;
+    obsEmit(obs::EventKind::Issued, *inst);
     completionQueue.emplace(done, inst);
 }
 

@@ -50,6 +50,8 @@ SmtCore::retireBlocked(ThreadCtx &ctx, const InstPtr &head)
                            "splice open: master=%d handler=%d fault=%llu",
                            int(ctx.id), int(record.handler),
                            (unsigned long long)head->seq);
+                    obsEmitTid(obs::EventKind::SpliceOpen, ctx.id,
+                               uint64_t(record.handler), head->seq);
                 }
                 record.spliceOpen = true;
                 return true;
@@ -83,6 +85,7 @@ SmtCore::retireInst(ThreadCtx &ctx, const InstPtr &inst)
     lastRetireCycle = curCycle;
     removeFromWindow(*inst);
     inst->status = InstStatus::Retired;
+    obsEmit(obs::EventKind::Retired, *inst);
     // A retired instruction can no longer be squashed: break the
     // rename-undo chain so older instructions' memory is released.
     inst->prevWriter.reset();
@@ -145,6 +148,7 @@ SmtCore::retireInst(ThreadCtx &ctx, const InstPtr &inst)
                     break;
                 }
             }
+            obsEmitTid(obs::EventKind::SpliceClose, ctx.id);
             releaseHandlerCtx(ctx);
             if (kind == ExcKind::TlbMiss) {
                 // The fill (TLBWR) woke the waiters parked at that
@@ -246,6 +250,8 @@ SmtCore::cancelRecord(size_t idx)
 {
     ExcRecord record = records[idx];
     records.erase(records.begin() + idx);
+    obsEmitTid(obs::EventKind::Cancel, record.handler,
+               uint64_t(record.master));
 
     ThreadCtx &h = *contexts[record.handler];
     panic_if(!h.isHandler(), "cancelling a record with a freed handler");
@@ -275,6 +281,7 @@ SmtCore::wakeTlbWaiters(Asn asn, Addr vpn)
             pageNum(waiter->effVa) == vpn &&
             waiter->status == InstStatus::TlbWait) {
             waiter->status = InstStatus::InWindow;
+            obsEmit(obs::EventKind::Wake, *waiter, vpn);
             it = parked.erase(it);
         } else {
             ++it;
@@ -351,6 +358,7 @@ SmtCore::squashFrom(ThreadCtx &ctx, SeqNum first_squashed)
             ctx.fetchHalted = false;
 
         inst->status = InstStatus::Squashed;
+        obsEmit(obs::EventKind::Squashed, *inst);
         inst->dependents.clear();
         ++squashedInsts;
         panic_if(ctx.icount == 0, "icount underflow on squash");

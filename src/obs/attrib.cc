@@ -1,0 +1,42 @@
+#include "obs/attrib.hh"
+
+namespace zmt::obs
+{
+
+const char *
+attribCatName(AttribCat cat)
+{
+    switch (cat) {
+      case AttribCat::Drain:        return "drain";
+      case AttribCat::HandlerFetch: return "handlerFetch";
+      case AttribCat::HandlerExec:  return "handlerExec";
+      case AttribCat::SpliceWait:   return "spliceWait";
+      case AttribCat::Refetch:      return "refetch";
+      case AttribCat::Walker:       return "walker";
+      case AttribCat::NumCats:      break;
+    }
+    return "?";
+}
+
+void
+printAttribTable(std::FILE *out, const AttribSummary &summary)
+{
+    std::fprintf(out,
+                 "# penalty attribution (%llu completed, %llu aborted "
+                 "handlings)\n",
+                 (unsigned long long)summary.completed,
+                 (unsigned long long)summary.aborted);
+    std::fprintf(out, "%-14s %12s %14s\n", "category", "cycles",
+                 "cyc/handling");
+    for (unsigned c = 0; c < NumAttribCats; ++c) {
+        AttribCat cat = AttribCat(c);
+        std::fprintf(out, "%-14s %12llu %14.2f\n", attribCatName(cat),
+                     (unsigned long long)summary.cycles[c],
+                     summary.perHandling(cat));
+    }
+    std::fprintf(out, "%-14s %12llu %14.2f\n", "total",
+                 (unsigned long long)summary.spanCycles,
+                 summary.spanPerHandling());
+}
+
+} // namespace zmt::obs

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Chrome trace-event exporter: renders the ExcTimeline's folded
+ * handlings as a trace-event JSON document viewable in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing. Each completed
+ * handling becomes one complete-event ("X") span per attribution
+ * category on the thread that spent those cycles, plus an instant
+ * ("i") at detection; aborted handlings become a single "aborted"
+ * span. Timestamps are simulated cycles (rendered by the viewers as
+ * microseconds).
+ */
+
+#ifndef ZMT_OBS_CHROMETRACE_HH
+#define ZMT_OBS_CHROMETRACE_HH
+
+#include <ostream>
+
+#include "obs/timeline.hh"
+
+namespace zmt::obs
+{
+
+void writeChromeTrace(std::ostream &os, const ExcTimeline &timeline);
+
+} // namespace zmt::obs
+
+#endif // ZMT_OBS_CHROMETRACE_HH

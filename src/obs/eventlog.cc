@@ -1,0 +1,80 @@
+#include "obs/eventlog.hh"
+
+namespace zmt::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetched:        return "fetched";
+      case EventKind::Dispatched:     return "dispatched";
+      case EventKind::Issued:         return "issued";
+      case EventKind::Completed:      return "completed";
+      case EventKind::Retired:        return "retired";
+      case EventKind::Squashed:       return "squashed";
+      case EventKind::MissDetect:     return "miss-detect";
+      case EventKind::EmulDetect:     return "emul-detect";
+      case EventKind::Trap:           return "trap";
+      case EventKind::Spawn:          return "spawn";
+      case EventKind::Fallback:       return "fallback";
+      case EventKind::QsWarm:         return "qs-warm";
+      case EventKind::QsCold:         return "qs-cold";
+      case EventKind::Fill:           return "fill";
+      case EventKind::Park:           return "park";
+      case EventKind::Wake:           return "wake";
+      case EventKind::Relink:         return "relink";
+      case EventKind::DeadlockSquash: return "deadlock-squash";
+      case EventKind::Revert:         return "revert";
+      case EventKind::Cancel:         return "cancel";
+      case EventKind::SpliceOpen:     return "splice-open";
+      case EventKind::SpliceClose:    return "splice-close";
+      case EventKind::HandlerRet:     return "handler-ret";
+      case EventKind::WalkStart:      return "walk-start";
+      case EventKind::WalkDone:       return "walk-done";
+      case EventKind::WalkAbort:      return "walk-abort";
+      case EventKind::NumKinds:       break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+size_t
+roundUpPow2(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+EventLog::EventLog(size_t ring_capacity, bool want_labels)
+    : capacity(ring_capacity ? roundUpPow2(ring_capacity) : 0),
+      keepLabels(want_labels)
+{
+    ring.reserve(capacity);
+}
+
+const std::string *
+EventLog::label(SeqNum seq) const
+{
+    auto it = labels.find(seq);
+    return it == labels.end() ? nullptr : &it->second;
+}
+
+void
+EventLog::evict(const Event &ev)
+{
+    // Once an instruction's terminal event (retire/squash) leaves the
+    // ring its label can never be printed again; this bounds the label
+    // map by the ring capacity rather than the run length.
+    if (keepLabels &&
+        (ev.kind == EventKind::Retired || ev.kind == EventKind::Squashed))
+        labels.erase(ev.seq);
+}
+
+} // namespace zmt::obs

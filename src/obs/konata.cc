@@ -1,0 +1,116 @@
+#include "obs/konata.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace zmt::obs
+{
+
+namespace
+{
+
+struct LiveInst
+{
+    uint64_t id;
+    const char *stage; //!< currently open stage, or nullptr
+};
+
+} // anonymous namespace
+
+void
+writeKonata(std::ostream &os, const EventLog &log)
+{
+    os << "Kanata\t0004\n";
+
+    std::unordered_map<SeqNum, LiveInst> live;
+    uint64_t nextId = 0;
+    uint64_t nextRetireId = 1;
+    Cycle lastCycle = 0;
+    bool first = true;
+
+    auto advance = [&](Cycle cycle) {
+        if (first) {
+            os << "C=\t" << cycle << "\n";
+            first = false;
+        } else if (cycle > lastCycle) {
+            os << "C\t" << (cycle - lastCycle) << "\n";
+        }
+        lastCycle = cycle;
+    };
+
+    // An instruction whose Fetched event was evicted from the ring
+    // enters the trace at its first retained event.
+    auto lookup = [&](const Event &ev) -> LiveInst & {
+        auto it = live.find(ev.seq);
+        if (it == live.end()) {
+            LiveInst inst{nextId++, nullptr};
+            os << "I\t" << inst.id << "\t" << ev.seq << "\t"
+               << int(ev.tid) << "\n";
+            if (const std::string *label = log.label(ev.seq))
+                os << "L\t" << inst.id << "\t0\t" << *label
+                   << (ev.flags & EvPalMode ? " [PAL]" : "") << "\n";
+            it = live.emplace(ev.seq, inst).first;
+        }
+        return it->second;
+    };
+
+    auto moveTo = [&](LiveInst &inst, const char *stage) {
+        if (inst.stage && stage && std::strcmp(inst.stage, stage) == 0)
+            return; // re-issue after a park: stage unchanged
+        if (inst.stage)
+            os << "E\t" << inst.id << "\t0\t" << inst.stage << "\n";
+        if (stage)
+            os << "S\t" << inst.id << "\t0\t" << stage << "\n";
+        inst.stage = stage;
+    };
+
+    log.forEach([&](const Event &ev) {
+        switch (ev.kind) {
+          case EventKind::Fetched:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "F");
+            break;
+          case EventKind::Dispatched:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "Ds");
+            break;
+          case EventKind::Issued:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "Is");
+            break;
+          case EventKind::Completed:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "Cm");
+            break;
+          case EventKind::Park:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "Pk");
+            break;
+          case EventKind::Wake:
+            advance(ev.cycle);
+            moveTo(lookup(ev), "Ds");
+            break;
+          case EventKind::Retired: {
+            advance(ev.cycle);
+            LiveInst &inst = lookup(ev);
+            moveTo(inst, nullptr);
+            os << "R\t" << inst.id << "\t" << nextRetireId++ << "\t0\n";
+            live.erase(ev.seq);
+            break;
+          }
+          case EventKind::Squashed: {
+            advance(ev.cycle);
+            LiveInst &inst = lookup(ev);
+            moveTo(inst, nullptr);
+            os << "R\t" << inst.id << "\t" << nextRetireId++ << "\t1\n";
+            live.erase(ev.seq);
+            break;
+          }
+          default:
+            // Lifecycle events have no per-instruction lane.
+            break;
+        }
+    });
+}
+
+} // namespace zmt::obs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Konata pipeline-trace exporter: renders the EventLog ring as a
+ * Kanata-0004 command stream so individual instructions' journeys
+ * through the stages — including handler-thread spawns, parked
+ * TLB-waiters and squashes — can be inspected in the Konata viewer
+ * (https://github.com/shioyadan/Konata).
+ */
+
+#ifndef ZMT_OBS_KONATA_HH
+#define ZMT_OBS_KONATA_HH
+
+#include <ostream>
+
+#include "obs/eventlog.hh"
+
+namespace zmt::obs
+{
+
+/**
+ * Write the retained events as a Konata trace. Stage labels:
+ * F = fetch, Ds = dispatch/decode, Is = issue/execute, Cm = complete
+ * (awaiting retirement), Pk = parked on a TLB fill.
+ */
+void writeKonata(std::ostream &os, const EventLog &log);
+
+} // namespace zmt::obs
+
+#endif // ZMT_OBS_KONATA_HH

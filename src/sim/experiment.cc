@@ -81,6 +81,10 @@ measureWith(const SimParams &params, const Workloads &workloads,
 {
     SimParams perfect = params;
     perfect.except.mech = ExceptMech::PerfectTlb;
+    // Observability exports belong to the measured run only: a cached
+    // baseline must neither clobber the caller's trace files nor get a
+    // baseline-cache key polluted by export paths.
+    perfect.obs = {};
 
     PenaltyResult result;
     if (!skip_baseline) {

@@ -1,8 +1,11 @@
 #include "sim/simulator.hh"
 
+#include <fstream>
 #include <malloc.h>
 
 #include "common/logging.hh"
+#include "obs/chrometrace.hh"
+#include "obs/konata.hh"
 
 namespace zmt
 {
@@ -60,6 +63,7 @@ Simulator::build(const SimParams &params,
 {
     tuneAllocatorOnce();
     fatal_if(workloads.empty(), "no workloads given");
+    obsParams = params.obs;
 
     // PAL image lives in physical memory below the frame region.
     pal = buildPalCode();
@@ -81,7 +85,30 @@ Simulator::build(const SimParams &params,
 CoreResult
 Simulator::run()
 {
-    return _core->run();
+    CoreResult result = _core->run();
+    writeObsExports();
+    return result;
+}
+
+void
+Simulator::writeObsExports() const
+{
+    if (!obsParams.pipeview.empty()) {
+        const obs::EventLog *log = _core->eventLog();
+        fatal_if(!log, "--pipeview requested but the event log is off");
+        std::ofstream os(obsParams.pipeview);
+        fatal_if(!os, "cannot open pipeview file '%s'",
+                 obsParams.pipeview.c_str());
+        obs::writeKonata(os, *log);
+    }
+    if (!obsParams.events.empty()) {
+        const obs::ExcTimeline *tl = _core->excTimeline();
+        fatal_if(!tl, "--events requested but the timeline is off");
+        std::ofstream os(obsParams.events);
+        fatal_if(!os, "cannot open events file '%s'",
+                 obsParams.events.c_str());
+        obs::writeChromeTrace(os, *tl);
+    }
 }
 
 namespace

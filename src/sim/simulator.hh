@@ -36,7 +36,12 @@ class Simulator
 
     ~Simulator();
 
-    /** Run to completion (params.maxInsts retired user instructions). */
+    /**
+     * Run to completion (params.maxInsts retired user instructions).
+     * If observability exports were requested (ObsParams::pipeview /
+     * events), the Konata and Chrome-trace files are written after the
+     * core stops.
+     */
     CoreResult run();
 
     SmtCore &core() { return *_core; }
@@ -60,7 +65,10 @@ class Simulator
     void build(const SimParams &params,
                const std::vector<WorkloadParams> &workloads);
 
+    void writeObsExports() const;
+
     stats::StatGroup root{"sim"};
+    ObsParams obsParams; //!< export destinations, captured at build
     PhysMem physMem;
     FrameAllocator frames;
     PalCode pal;

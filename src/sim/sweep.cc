@@ -11,7 +11,9 @@
 #include <sys/stat.h>
 #include <thread>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace zmt
 {
@@ -65,6 +67,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::vector<SweepOutcome> outcomes(jobs.size());
     parallelFor(jobs.size(), [&](size_t i) {
         const SweepJob &job = jobs[i];
+        // Interleaved ZTRACE lines from concurrent cells stay
+        // attributable: prefix this worker's output with the job label
+        // while it runs this cell.
+        trace::setRunLabel(job.label);
         auto start = std::chrono::steady_clock::now();
         if (!job.workloads.empty()) {
             outcomes[i].result = measurePenalty(job.params, job.workloads,
@@ -77,6 +83,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        trace::setRunLabel("");
     });
     return outcomes;
 }
@@ -108,43 +115,8 @@ parseJobsFlag(int &argc, char **argv, unsigned fallback)
     return jobs;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
 namespace
 {
-
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-}
 
 void
 emitCoreResult(std::ostream &os, const CoreResult &r)
@@ -157,7 +129,18 @@ emitCoreResult(std::ostream &os, const CoreResult &r)
        << ",\"measured_cycles\":" << r.measuredCycles
        << ",\"measured_insts\":" << r.measuredInsts
        << ",\"measured_misses\":" << r.measuredMisses
-       << ",\"ipc\":" << jsonNumber(r.ipc) << "}";
+       << ",\"ipc\":" << jsonNumber(r.ipc);
+    // Per-exception penalty attribution (all zero unless the run had
+    // obs.attrib / an export enabled — the counters live in the
+    // ExcTimeline sink).
+    os << ",\"attrib\":{\"completed\":" << r.attrib.completed
+       << ",\"aborted\":" << r.attrib.aborted
+       << ",\"span_cycles\":" << r.attrib.spanCycles;
+    for (unsigned c = 0; c < obs::NumAttribCats; ++c) {
+        os << ",\"" << obs::attribCatName(obs::AttribCat(c))
+           << "_cycles\":" << r.attrib.cycles[c];
+    }
+    os << "}}";
 }
 
 void

@@ -130,9 +130,6 @@ bool writeSweepResultsJson(const std::string &path,
                            const std::vector<SweepOutcome> &outcomes,
                            unsigned threads, double wallSeconds);
 
-/** Escape a string for embedding in a JSON document. */
-std::string jsonEscape(const std::string &s);
-
 } // namespace zmt
 
 #endif // ZMT_SIM_SWEEP_HH

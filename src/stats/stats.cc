@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace zmt::stats
@@ -151,7 +152,8 @@ Distribution::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     underflow = overflow = count = 0;
-    sum = minSeen = maxSeen = 0.0;
+    sum = 0.0;
+    minSeen = maxSeen = std::numeric_limits<double>::quiet_NaN();
 }
 
 void
@@ -217,6 +219,21 @@ StatGroup::dumpCsv(std::ostream &os, const std::string &prefix) const
     collect(rows, prefix);
     for (const auto &[name, value] : rows)
         os << name << "," << value << "\n";
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, double>> rows;
+    collect(rows, prefix);
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : rows) {
+        os << (first ? "" : ",") << "\n  \"" << jsonEscape(name)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << "\n}\n";
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -116,6 +117,8 @@ class Distribution : public StatBase
 
     uint64_t samples() const { return count; }
     double mean() const { return count ? sum / double(count) : 0.0; }
+    /** Smallest/largest sampled value; NaN before the first sample
+     *  (0.0 would be indistinguishable from a real extremum). */
     double minSample() const { return minSeen; }
     double maxSample() const { return maxSeen; }
     uint64_t bucketCount(unsigned i) const { return buckets.at(i); }
@@ -137,8 +140,8 @@ class Distribution : public StatBase
     uint64_t overflow = 0;
     uint64_t count = 0;
     double sum = 0.0;
-    double minSeen = 0.0;
-    double maxSeen = 0.0;
+    double minSeen = std::numeric_limits<double>::quiet_NaN();
+    double maxSeen = std::numeric_limits<double>::quiet_NaN();
 };
 
 /** Lazily evaluated expression over other stats. */
@@ -188,6 +191,10 @@ class StatGroup
 
     /** Dump as "name,value" CSV lines. */
     void dumpCsv(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Dump as one flat JSON object {"name": value, ...} — the same
+     *  rows as dumpCsv; non-finite values become null. */
+    void dumpJson(std::ostream &os, const std::string &prefix = "") const;
 
     /** Collect flat (name,value) rows. */
     void collect(std::vector<std::pair<std::string, double>> &rows,

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -130,6 +132,43 @@ TEST(Stats, DistributionBuckets)
     EXPECT_EQ(dist.bucketCount(5), 1u);
     EXPECT_DOUBLE_EQ(dist.minSample(), -5.0);
     EXPECT_DOUBLE_EQ(dist.maxSample(), 150.0);
+}
+
+// Before the first sample there is no extremum: min/max must read as
+// NaN, not a 0.0 that is indistinguishable from a real sampled zero
+// (a distribution whose smallest sample is 17 used to report min=0).
+TEST(Stats, DistributionMinMaxNaNBeforeFirstSample)
+{
+    stats::StatGroup root("root");
+    stats::Distribution dist(&root, "dist", "", 0, 100, 10);
+    EXPECT_TRUE(std::isnan(dist.minSample()));
+    EXPECT_TRUE(std::isnan(dist.maxSample()));
+
+    dist.sample(17);
+    EXPECT_DOUBLE_EQ(dist.minSample(), 17.0);
+    EXPECT_DOUBLE_EQ(dist.maxSample(), 17.0);
+
+    dist.reset();
+    EXPECT_TRUE(std::isnan(dist.minSample()));
+    EXPECT_TRUE(std::isnan(dist.maxSample()));
+}
+
+TEST(Stats, DumpJsonIsParseableAndNullsNonFinite)
+{
+    stats::StatGroup root("sim");
+    stats::Scalar a(&root, "a", "");
+    a = 3;
+    stats::Distribution dist(&root, "dist", "", 0, 100, 10); // no samples
+    std::ostringstream os;
+    root.dumpJson(os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_NE(text.find("\"sim.a\": 3"), std::string::npos);
+    // The unsampled distribution's NaN min/max must become JSON null,
+    // never a bare nan token.
+    EXPECT_NE(text.find("\"sim.dist::min\": null"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_NE(text.find("\n}\n"), std::string::npos);
 }
 
 TEST(Stats, FormulaLazy)
@@ -264,6 +303,28 @@ TEST(Trace, FlagNames)
     EXPECT_STREQ(flagName(Exc), "exc");
     EXPECT_STREQ(flagName(Retire), "retire");
     EXPECT_STREQ(flagName(Mem), "mem");
+}
+
+// The sweep runner labels each worker's trace output with its job so
+// interleaved stderr lines stay attributable. Labels are thread-local:
+// one worker's label must never leak into another's lines.
+TEST(Trace, RunLabelIsPerThread)
+{
+    using namespace zmt::trace;
+    setRunLabel("main-job");
+    EXPECT_EQ(runLabel(), "main-job");
+
+    std::string seen = "sentinel";
+    std::thread other([&] {
+        seen = runLabel(); // fresh thread: no inherited label
+        setRunLabel("worker-job");
+    });
+    other.join();
+    EXPECT_EQ(seen, "");
+    EXPECT_EQ(runLabel(), "main-job"); // unaffected by the worker
+
+    setRunLabel("");
+    EXPECT_EQ(runLabel(), "");
 }
 
 } // anonymous namespace

@@ -467,6 +467,33 @@ TEST(Invariants, DumpStateIsWellFormed)
     EXPECT_NE(os.str().find("window"), std::string::npos);
 }
 
+// dumpState is a debugging aid for *live* pipelines: it must render a
+// mid-flight machine (speculative instructions in the window, handler
+// threads active, walks outstanding) without tripping an assertion,
+// for every mechanism — not just the drained post-run state the test
+// above covers.
+TEST(Invariants, DumpStateMidFlight)
+{
+    for (ExceptMech mech :
+         {ExceptMech::Traditional, ExceptMech::Multithreaded,
+          ExceptMech::QuickStart, ExceptMech::Hardware}) {
+        SimParams params = smallParams(mech, 30000);
+        Simulator sim(params, std::vector<std::string>{"compress"});
+        // Stop at several depths: mid-warmup, and deep enough that
+        // misses (and their handler threads / walks) are in flight.
+        for (unsigned target : {50u, 500u, 5000u}) {
+            while (sim.core().now() < target)
+                sim.core().tick();
+            std::ostringstream os;
+            sim.core().dumpState(os);
+            EXPECT_NE(os.str().find("core state"), std::string::npos)
+                << mechName(mech) << " @" << target;
+            EXPECT_NE(os.str().find("window"), std::string::npos)
+                << mechName(mech) << " @" << target;
+        }
+    }
+}
+
 TEST(Invariants, FetchedAtLeastRetired)
 {
     SimParams params = smallParams(ExceptMech::Traditional, 20000);

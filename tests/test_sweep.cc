@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/sweep.hh"
 
 namespace

@@ -34,6 +34,7 @@
 
 #include "common/random.hh"
 #include "sim/simulator.hh"
+#include "common/json.hh"
 #include "sim/sweep.hh"
 #include "verify/diffcheck.hh"
 
