@@ -350,9 +350,19 @@ benchMain(int argc, char **argv, void (*summary)())
                           outcomes[i].result);
     }
     // Progress to stderr: stdout (tables, counters) stays
-    // byte-identical for any --jobs value.
-    std::fprintf(stderr, "# sweep: %zu cells on %u threads in %.1fs\n",
-                 jobs.size(), runner.threads(), wall);
+    // byte-identical for any --jobs value. The aggregate KIPS (summed
+    // simulated instructions / sweep wall time) tracks simulator
+    // speed; bench_simspeed measures it properly per mechanism.
+    uint64_t swept_insts = 0;
+    for (const SweepOutcome &outcome : outcomes) {
+        swept_insts += outcome.result.mech.userInsts;
+        swept_insts += outcome.result.perfect.userInsts;
+    }
+    std::fprintf(stderr,
+                 "# sweep: %zu cells on %u threads in %.1fs "
+                 "(%.0f KIPS aggregate)\n",
+                 jobs.size(), runner.threads(), wall,
+                 wall > 0.0 ? double(swept_insts) / wall / 1000.0 : 0.0);
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

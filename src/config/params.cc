@@ -150,6 +150,7 @@ SimParams::set(const std::string &key, const std::string &value)
         return;
     }
     if (key == "core.lsPortCount") { core.lsPortCount = unsigned(u()); return; }
+    if (key == "core.idleSkip") { core.idleSkip = b(); return; }
 
     if (key == "mem.l1dSizeKb") { mem.l1dSizeKb = unsigned(u()); return; }
     if (key == "mem.l2SizeKb") { mem.l2SizeKb = unsigned(u()); return; }
@@ -294,6 +295,7 @@ SimParams::forEachParam(
     u("core.fpAddCount", core.fpAddCount);
     u("core.fpDivCount", core.fpDivCount);
     u("core.lsPortCount", core.lsPortCount);
+    b("core.idleSkip", core.idleSkip);
 
     u("mem.l1iSizeKb", mem.l1iSizeKb);
     u("mem.l1iAssoc", mem.l1iAssoc);

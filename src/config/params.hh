@@ -48,6 +48,16 @@ struct CoreParams
     unsigned lsPortCount = 3;    //!< load/store ports
 
     /**
+     * Simulator-speed (not modeled-hardware) knob: fast-forward cycles
+     * in which no pipeline stage can make progress, charging their
+     * per-cycle statistics in bulk. Architecturally invisible — every
+     * stat is bit-identical with it on or off (the golden-run tests
+     * enforce this); off when a fault injector is active, since
+     * injectors act on arbitrary cycles.
+     */
+    bool idleSkip = true;
+
+    /**
      * Stages between fetch and execute (the minimum branch mispredict
      * penalty). Table 1: 3 fetch + 1 decode + 1 schedule + 2 register
      * read = nominal 7.

@@ -21,10 +21,8 @@ namespace zmt
 void
 SmtCore::doComplete()
 {
-    while (!completionQueue.empty() &&
-           completionQueue.begin()->first <= curCycle) {
-        InstPtr inst = completionQueue.begin()->second;
-        completionQueue.erase(completionQueue.begin());
+    while (completionQueue.nextAt() <= curCycle) {
+        InstPtr inst = completionQueue.pop();
         if (inst->squashed())
             continue;
         completeInst(inst);

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Completion event queue: a binary min-heap ordered by (cycle,
+ * insertion order). It replaces the std::multimap the core used to
+ * key completion events on — same pop order (earliest cycle first,
+ * FIFO among events scheduled for the same cycle, which multimap
+ * guaranteed via equal-key insertion order), but one flat vector
+ * instead of a red-black tree node allocation per issued instruction.
+ */
+
+#ifndef ZMT_CORE_COMPLETIONQ_HH
+#define ZMT_CORE_COMPLETIONQ_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyninst.hh"
+
+namespace zmt
+{
+
+/** Min-heap of (cycle, FIFO order, instruction) completion events. */
+class CompletionQueue
+{
+  public:
+    struct Event
+    {
+        Cycle at = 0;
+        uint64_t order = 0; //!< tie-break: FIFO within a cycle
+        InstPtr inst;
+    };
+
+    void
+    push(Cycle at, InstPtr inst)
+    {
+        events.push_back(Event{at, nextOrder++, std::move(inst)});
+        std::push_heap(events.begin(), events.end(), Later{});
+    }
+
+    bool empty() const { return events.empty(); }
+    size_t size() const { return events.size(); }
+
+    /** Earliest event's cycle; MaxCycle when empty. */
+    Cycle nextAt() const { return events.empty() ? MaxCycle : events.front().at; }
+
+    /** Remove and return the earliest event's instruction. */
+    InstPtr
+    pop()
+    {
+        std::pop_heap(events.begin(), events.end(), Later{});
+        InstPtr inst = std::move(events.back().inst);
+        events.pop_back();
+        return inst;
+    }
+
+    // Unordered iteration (teardown unlinking only).
+    auto begin() const { return events.begin(); }
+    auto end() const { return events.end(); }
+
+    void clear() { events.clear(); }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.order > b.order;
+        }
+    };
+
+    std::vector<Event> events;
+    uint64_t nextOrder = 0;
+};
+
+} // namespace zmt
+
+#endif // ZMT_CORE_COMPLETIONQ_HH

@@ -24,12 +24,13 @@
 #define ZMT_CORE_CORE_HH
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "config/params.hh"
+#include "core/completionq.hh"
 #include "core/dyninst.hh"
+#include "isa/decodecache.hh"
 #include "kernel/pal.hh"
 #include "kernel/process.hh"
 #include "mem/hierarchy.hh"
@@ -117,6 +118,9 @@ class SmtCore : public stats::StatGroup
 
     const Tlb &dtlb() const { return *tlb; }
     MemHierarchy &memory() { return *hier; }
+
+    /** The DynInst slab pool (exposed for the pool-stress tests). */
+    const DynInstPool &instPool() const { return dynInstPool; }
 
     /** The fault injector, when verify.* enables one (else null). */
     FaultInjector *faultInjector() { return injector.get(); }
@@ -246,7 +250,7 @@ class SmtCore : public stats::StatGroup
     void doFetch();
 
     // --- Fetch helpers ------------------------------------------------------
-    std::vector<ThreadCtx *> fetchOrder();
+    const std::vector<ThreadCtx *> &fetchOrder();
     bool canFetch(const ThreadCtx &ctx) const;
     unsigned fetchFromThread(ThreadCtx &ctx, unsigned budget);
     InstPtr createFetchedInst(ThreadCtx &ctx, Addr pc, isa::InstWord word,
@@ -272,6 +276,19 @@ class SmtCore : public stats::StatGroup
     void issueInst(const InstPtr &inst);
     bool oldestUnfinished(const DynInst &inst) const;
     Addr fakePa(Asn asn, Addr va) const;
+    void insertIntoReadyList(const InstPtr &inst);
+
+    // --- Idle-skip scheduling (see DESIGN.md Section 11) -----------------
+    /**
+     * First cycle at which a real tick() could do or observe anything,
+     * assuming every cycle in between is quiescent; returns curCycle
+     * (no skip) when the upcoming tick itself has work. Never exceeds
+     * @p limit.
+     */
+    Cycle quiescentUntil(Cycle limit);
+    /** Fast-forward @p count quiescent cycles, batching the per-cycle
+     *  bookkeeping those ticks would have done (bit-identical stats). */
+    void skipCycles(Cycle count);
 
     // --- Completion helpers ---------------------------------------------------
     void completeInst(const InstPtr &inst);
@@ -331,6 +348,13 @@ class SmtCore : public stats::StatGroup
     std::unique_ptr<BranchPredictor> bpred;
     std::unique_ptr<HwWalker> walker;
 
+    /** Slab pool for all in-flight DynInsts. Declared before every
+     *  container of InstPtrs so it is destroyed after them. */
+    DynInstPool dynInstPool;
+
+    /** Per-core decode memo (refetch after squash skips re-decode). */
+    isa::DecodeCache decodeCache;
+
     std::vector<std::unique_ptr<ThreadCtx>> contexts;
     unsigned numApps = 0;
 
@@ -369,8 +393,18 @@ class SmtCore : public stats::StatGroup
     std::vector<InstPtr> window;
     unsigned windowCount = 0; //!< occupancy (honors freeHandlerWindow)
 
+    /**
+     * Dispatched-but-unissued instructions (status InWindow or
+     * TlbWait), sorted by seq. doIssue scans this instead of the whole
+     * window; issued/squashed entries are compacted out in-scan.
+     */
+    std::vector<InstPtr> readyList;
+
     /** Completion events: cycle -> instruction. */
-    std::multimap<Cycle, InstPtr> completionQueue;
+    CompletionQueue completionQueue;
+
+    /** fetchOrder() scratch (avoids two allocations per cycle). */
+    std::vector<ThreadCtx *> orderScratch, orderHandlers;
 
     Cycle curCycle = 0;
     SeqNum nextSeq = 1;

@@ -374,6 +374,7 @@ SmtCore::dispatchInst(ThreadCtx &ctx, const InstPtr &inst)
     inst->windowAt = curCycle;
     inst->status = InstStatus::InWindow;
     insertIntoWindow(inst);
+    insertIntoReadyList(inst);
     obsEmit(obs::EventKind::Dispatched, *inst);
 
     if (ctx.isHandler()) {

@@ -8,12 +8,23 @@
  * records undo information (old register value, old memory bytes) so a
  * squash can roll the speculative state back youngest-first. Timing
  * state (ready/issued/done cycles) drives the pipeline model.
+ *
+ * DynInsts are allocated from a per-core slab pool (core/instpool.hh)
+ * through the intrusive refcounted InstPtr below, not from the global
+ * heap: the core creates and destroys one record per fetched
+ * instruction — including every wrong-path instruction — so
+ * per-instruction make_shared/control-block churn dominated the
+ * simulator's own hot path. The pool recycles records at the last
+ * reference drop (retire/squash plus structure removal) and reuses
+ * each record's `dependents` buffer, and its live count is asserted
+ * to return to zero at core teardown, turning the shared_ptr-cycle
+ * leak class into a structural impossibility.
  */
 
 #ifndef ZMT_CORE_DYNINST_HH
 #define ZMT_CORE_DYNINST_HH
 
-#include <memory>
+#include <cstddef>
 #include <vector>
 
 #include "bpred/bpred.hh"
@@ -24,7 +35,51 @@ namespace zmt
 {
 
 class DynInst;
-using InstPtr = std::shared_ptr<DynInst>;
+class DynInstPool;
+
+/**
+ * Intrusive refcounted handle to a pooled DynInst. Semantically a
+ * shared_ptr, minus the separate control block and minus atomics: a
+ * core's instructions are only ever touched from the thread running
+ * that core's simulation (sweep jobs each build their own Simulator),
+ * so plain counters are safe — and TSan-verified in CI.
+ */
+class InstPtr
+{
+  public:
+    constexpr InstPtr() noexcept = default;
+    constexpr InstPtr(std::nullptr_t) noexcept {}
+    inline InstPtr(const InstPtr &other) noexcept;
+    InstPtr(InstPtr &&other) noexcept : ptr(other.ptr) { other.ptr = nullptr; }
+    inline InstPtr &operator=(const InstPtr &other) noexcept;
+    inline InstPtr &operator=(InstPtr &&other) noexcept;
+    inline ~InstPtr();
+
+    inline void reset() noexcept;
+
+    DynInst *get() const noexcept { return ptr; }
+    DynInst &operator*() const noexcept { return *ptr; }
+    DynInst *operator->() const noexcept { return ptr; }
+    explicit operator bool() const noexcept { return ptr != nullptr; }
+
+    friend bool
+    operator==(const InstPtr &a, const InstPtr &b) noexcept
+    {
+        return a.ptr == b.ptr;
+    }
+    friend bool
+    operator==(const InstPtr &a, std::nullptr_t) noexcept
+    {
+        return a.ptr == nullptr;
+    }
+
+  private:
+    friend class DynInstPool;
+    struct AdoptRef {};
+    InstPtr(DynInst *inst, AdoptRef) noexcept : ptr(inst) {}
+
+    DynInst *ptr = nullptr;
+};
 
 /** Which register file an undo entry refers to. */
 enum class RegFileKind : uint8_t { None, Int, Fp, Pal, Priv };
@@ -42,7 +97,7 @@ enum class InstStatus : uint8_t
 };
 
 /** One in-flight instruction. */
-class DynInst : public std::enable_shared_from_this<DynInst>
+class DynInst
 {
   public:
     // --- Identity ------------------------------------------------------
@@ -133,8 +188,24 @@ class DynInst : public std::enable_shared_from_this<DynInst>
             return true;
         return actTaken && actTarget != predTarget;
     }
+
+    // Stack/value copies (e.g. the trap path's fault snapshot) carry
+    // the payload but stay outside the pool: only InstPtr drops ever
+    // recycle, and no InstPtr is ever taken to a copy.
+
+  private:
+    friend class InstPtr;
+    friend class DynInstPool;
+
+    uint32_t poolRefs = 0;          //!< intrusive reference count
+    DynInstPool *pool = nullptr;    //!< owner; null for stack instances
+    DynInst *poolNext = nullptr;    //!< free-list link while recycled
 };
 
 } // namespace zmt
+
+// The pool and the InstPtr method bodies need the complete DynInst;
+// they live in a companion header included exactly here.
+#include "core/instpool.hh"
 
 #endif // ZMT_CORE_DYNINST_HH

@@ -32,35 +32,45 @@ SmtCore::instFetchPa(const ThreadCtx &ctx, Addr pc) const
     return pa ? *pa : fakePa(ctx.proc->asn(), pc);
 }
 
-std::vector<SmtCore::ThreadCtx *>
+const std::vector<SmtCore::ThreadCtx *> &
 SmtCore::fetchOrder()
 {
-    std::vector<ThreadCtx *> handlers;
-    std::vector<ThreadCtx *> others;
+    // Called twice per cycle (dispatch and fetch); reuse member
+    // scratch vectors so the hot loop never allocates. A stable
+    // insertion sort over at most a handful of contexts replaces
+    // stable_sort's merge buffer.
+    auto icount_sort = [](std::vector<ThreadCtx *> &ctxs) {
+        for (size_t i = 1; i < ctxs.size(); ++i) {
+            ThreadCtx *ctx = ctxs[i];
+            size_t j = i;
+            for (; j > 0 && ctxs[j - 1]->icount > ctx->icount; --j)
+                ctxs[j] = ctxs[j - 1];
+            ctxs[j] = ctx;
+        }
+    };
+
+    orderHandlers.clear();
+    orderScratch.clear();
     for (auto &ctx : contexts) {
         if (ctx->isHandler())
-            handlers.push_back(ctx.get());
+            orderHandlers.push_back(ctx.get());
         else if (ctx->isApp())
-            others.push_back(ctx.get());
+            orderScratch.push_back(ctx.get());
     }
     // ICOUNT: fewest in-flight instructions first (ties by id).
-    std::stable_sort(others.begin(), others.end(),
-                     [](const ThreadCtx *a, const ThreadCtx *b) {
-                         return a->icount < b->icount;
-                     });
+    icount_sort(orderScratch);
     if (params.except.handlerFetchPriority) {
-        handlers.insert(handlers.end(), others.begin(), others.end());
-        return handlers;
+        orderHandlers.insert(orderHandlers.end(), orderScratch.begin(),
+                             orderScratch.end());
+        return orderHandlers;
     }
     // Without explicit priority, handlers still come first in practice
     // because a fresh handler thread has the lowest ICOUNT — merge by
     // icount alone.
-    others.insert(others.end(), handlers.begin(), handlers.end());
-    std::stable_sort(others.begin(), others.end(),
-                     [](const ThreadCtx *a, const ThreadCtx *b) {
-                         return a->icount < b->icount;
-                     });
-    return others;
+    orderScratch.insert(orderScratch.end(), orderHandlers.begin(),
+                        orderHandlers.end());
+    icount_sort(orderScratch);
+    return orderScratch;
 }
 
 bool
@@ -86,11 +96,11 @@ InstPtr
 SmtCore::createFetchedInst(ThreadCtx &ctx, Addr pc, isa::InstWord word,
                            Cycle fetch_done)
 {
-    auto inst = std::make_shared<DynInst>();
+    InstPtr inst = dynInstPool.acquire();
     inst->seq = nextSeq++;
     inst->tid = ctx.id;
     inst->pc = pc;
-    inst->di = isa::decode(word);
+    inst->di = decodeCache.lookup(word);
     if (!inst->di.valid() || (inst->di.info->isPriv && !ctx.fetchPal)) {
         // Wild wrong-path fetch of a non-instruction (or of data that
         // decodes to a privileged op in user mode): treat as a NOP; it

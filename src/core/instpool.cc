@@ -1,0 +1,19 @@
+#include "core/dyninst.hh"
+
+namespace zmt
+{
+
+void
+DynInstPool::grow()
+{
+    auto slab = std::make_unique<DynInst[]>(SlabInsts);
+    // Link in reverse so acquire() hands out slab[0], slab[1], ... —
+    // sequential first touches, LIFO reuse thereafter.
+    for (size_t i = SlabInsts; i-- > 0;) {
+        slab[i].poolNext = freeHead;
+        freeHead = &slab[i];
+    }
+    slabs.push_back(std::move(slab));
+}
+
+} // namespace zmt

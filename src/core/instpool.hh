@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Slab/free-list allocator for DynInst records, plus the out-of-line
+ * bodies of InstPtr (which need the complete DynInst type).
+ *
+ * The core allocates one DynInst per fetched instruction — wrong paths
+ * included — so allocation is the tightest loop in the simulator.
+ * Records are carved out of large slabs, handed out LIFO (hot in
+ * cache), and recycled the moment their last InstPtr drops, which the
+ * pipeline guarantees happens shortly after retire or squash. A
+ * recycled record keeps its `dependents` vector buffer, so the
+ * dependence lists that made the old make_shared scheme realloc
+ * millions of times reuse their capacity across generations.
+ *
+ * Leak safety by construction: records live in slabs owned by the
+ * pool, so a forgotten reference cycle can no longer leak memory, and
+ * ~SmtCore asserts liveCount() == 0 after unlinking, so a refcount
+ * imbalance aborts loudly instead of accumulating.
+ *
+ * Not thread-safe by design: a pool belongs to one SmtCore, and a core
+ * is only ever ticked from one thread (parallel sweeps build one
+ * Simulator per job).
+ */
+
+#ifndef ZMT_CORE_INSTPOOL_HH
+#define ZMT_CORE_INSTPOOL_HH
+
+#ifndef ZMT_CORE_DYNINST_HH
+#error "include core/dyninst.hh instead of core/instpool.hh"
+#endif
+
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace zmt
+{
+
+/** Slab allocator handing out refcounted DynInsts. */
+class DynInstPool
+{
+  public:
+    DynInstPool() = default;
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** Records per slab: ~example 512 * ~300 B = tolerable growth step. */
+    static constexpr size_t SlabInsts = 512;
+
+    /** Get a fresh (default-state) record with refcount 1. */
+    InstPtr
+    acquire()
+    {
+        if (!freeHead)
+            grow();
+        DynInst *inst = freeHead;
+        freeHead = inst->poolNext;
+        ++liveInsts;
+
+        // Reset by destroy + placement-new so every field — including
+        // ones added later — returns to its declared default, while
+        // the dependents buffer survives with its capacity.
+        std::vector<InstPtr> deps = std::move(inst->dependents);
+        inst->~DynInst();
+        ::new (inst) DynInst();
+        inst->dependents = std::move(deps);
+        inst->pool = this;
+        inst->poolRefs = 1;
+        return InstPtr(inst, InstPtr::AdoptRef{});
+    }
+
+    /** Records currently referenced (not on the free list). */
+    size_t liveCount() const { return liveInsts; }
+
+    /** Total records carved out of slabs so far. */
+    size_t capacity() const { return slabs.size() * SlabInsts; }
+
+  private:
+    friend class InstPtr;
+
+    /** Return a record whose last reference dropped to the free list. */
+    void
+    recycle(DynInst *inst)
+    {
+        // Clearing the links can cascade-release other records (the
+        // free-list push happens after, so reentrant recycles are safe).
+        inst->dependents.clear();
+        inst->prevWriter.reset();
+        inst->poolNext = freeHead;
+        freeHead = inst;
+        --liveInsts;
+    }
+
+    void grow(); // cold path, in instpool.cc
+
+    std::vector<std::unique_ptr<DynInst[]>> slabs;
+    DynInst *freeHead = nullptr;
+    size_t liveInsts = 0;
+};
+
+// --- InstPtr bodies -----------------------------------------------------
+
+inline
+InstPtr::InstPtr(const InstPtr &other) noexcept : ptr(other.ptr)
+{
+    if (ptr)
+        ++ptr->poolRefs;
+}
+
+inline void
+InstPtr::reset() noexcept
+{
+    DynInst *old = ptr;
+    ptr = nullptr;
+    if (old && --old->poolRefs == 0)
+        old->pool->recycle(old);
+}
+
+inline
+InstPtr::~InstPtr()
+{
+    reset();
+}
+
+inline InstPtr &
+InstPtr::operator=(const InstPtr &other) noexcept
+{
+    // Bump before release so self-assignment is safe.
+    DynInst *old = ptr;
+    ptr = other.ptr;
+    if (ptr)
+        ++ptr->poolRefs;
+    if (old && --old->poolRefs == 0)
+        old->pool->recycle(old);
+    return *this;
+}
+
+inline InstPtr &
+InstPtr::operator=(InstPtr &&other) noexcept
+{
+    if (this != &other) {
+        DynInst *old = ptr;
+        ptr = other.ptr;
+        other.ptr = nullptr;
+        if (old && --old->poolRefs == 0)
+            old->pool->recycle(old);
+    }
+    return *this;
+}
+
+} // namespace zmt
+
+#endif // ZMT_CORE_INSTPOOL_HH

@@ -7,11 +7,24 @@
  * competing for load/store ports.
  */
 
+#include <algorithm>
+
 #include "core/core.hh"
 #include "common/logging.hh"
 
 namespace zmt
 {
+
+void
+SmtCore::insertIntoReadyList(const InstPtr &inst)
+{
+    // Sorted by seq, same ordering invariant as the window. Dispatch
+    // interleaves threads, so an insert is not always an append.
+    auto pos = std::upper_bound(
+        readyList.begin(), readyList.end(), inst->seq,
+        [](SeqNum seq, const InstPtr &other) { return seq < other->seq; });
+    readyList.insert(pos, inst);
+}
 
 bool
 SmtCore::fuAvailable(isa::OpClass cls) const
@@ -152,7 +165,7 @@ SmtCore::issueInst(const InstPtr &inst)
     inst->status = InstStatus::Issued;
     inst->doneAt = done;
     obsEmit(obs::EventKind::Issued, *inst);
-    completionQueue.emplace(done, inst);
+    completionQueue.push(done, inst);
 }
 
 void
@@ -162,29 +175,53 @@ SmtCore::doIssue()
     unsigned budget = params.core.width;
     unsigned issued = 0;
 
-    // The window is kept sorted by sequence number: oldest first.
-    // Iterate over a snapshot since exception handling (traditional
-    // traps) can mutate the window mid-scan.
-    std::vector<InstPtr> candidates(window.begin(), window.end());
-    for (const InstPtr &inst : candidates) {
-        if (inst->status != InstStatus::InWindow)
+    // Scan only the dispatched-but-unissued instructions. readyList is
+    // the window filtered to status InWindow/TlbWait and sorted by seq
+    // (oldest-fetched first, the paper's selection policy); entries
+    // that issued or squashed since the last scan are compacted out in
+    // the same pass. The scan is bounded to the size on entry: a
+    // mid-scan dispatch (instant handler fetch during a traditional
+    // trap) appends a younger instruction the old whole-window
+    // snapshot would not have visited either.
+    const size_t n0 = readyList.size();
+    size_t keep = 0;
+    bool exhausted = false;
+    for (size_t i = 0; i < n0; ++i) {
+        // By value: the issue paths below can grow readyList and
+        // invalidate references into it.
+        InstPtr inst = readyList[i];
+
+        if (inst->status != InstStatus::InWindow) {
+            // Parked instructions (TlbWait) stay scheduled — the wake
+            // flips their status in place. Anything else (issued,
+            // squashed, retired) leaves the list.
+            if (inst->status == InstStatus::TlbWait)
+                readyList[keep++] = std::move(inst);
             continue;
-        if (inst->depsPending > 0)
+        }
+        if (exhausted || inst->depsPending > 0 ||
+            curCycle < inst->windowAt + params.core.schedDepth +
+                           params.core.regReadDepth ||
+            (inst->isSerializing() && !oldestUnfinished(*inst))) {
+            readyList[keep++] = std::move(inst);
             continue;
-        if (curCycle < inst->windowAt + params.core.schedDepth +
-                           params.core.regReadDepth)
-            continue;
-        if (inst->isSerializing() && !oldestUnfinished(*inst))
-            continue;
+        }
 
         bool free_exec = params.except.freeHandlerExecBw &&
                          contexts[inst->tid]->isHandler();
         isa::OpClass cls = inst->di.info->opClass;
         if (!free_exec) {
-            if (budget == 0)
-                break;
-            if (!fuAvailable(cls))
+            if (budget == 0) {
+                // The old scan stopped here; keep compacting without
+                // issuing so the list stays tidy.
+                exhausted = true;
+                readyList[keep++] = std::move(inst);
                 continue;
+            }
+            if (!fuAvailable(cls)) {
+                readyList[keep++] = std::move(inst);
+                continue;
+            }
         }
 
         issueInst(inst);
@@ -194,7 +231,15 @@ SmtCore::doIssue()
             consumeFu(cls);
             --budget;
         }
+        // TLB miss / emulation fault parks the instruction: it stays
+        // in the list awaiting its wake. A clean issue drops it.
+        if (inst->status == InstStatus::TlbWait)
+            readyList[keep++] = std::move(inst);
     }
+    // Preserve anything dispatched mid-scan (appended past n0).
+    for (size_t i = n0; i < readyList.size(); ++i)
+        readyList[keep++] = std::move(readyList[i]);
+    readyList.resize(keep);
 
     issuedPerCycle.sample(double(issued));
 

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Direct-mapped decoded-instruction cache.
+ *
+ * decode() is a pure function of the 32-bit word, and the core decodes
+ * the same handful of loop-body words millions of times — especially
+ * after squashes, where the refetched wrong-path suffix used to be
+ * re-decoded from scratch. A small direct-mapped memo keyed on the
+ * raw word removes that entirely; conflict misses just fall back to a
+ * real decode.
+ */
+
+#ifndef ZMT_ISA_DECODECACHE_HH
+#define ZMT_ISA_DECODECACHE_HH
+
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace zmt::isa
+{
+
+/** Per-core decode memo (not shared: no locking, no invalidation). */
+class DecodeCache
+{
+  public:
+    DecodeCache() : entries(NumEntries) {}
+
+    const DecodedInst &
+    lookup(InstWord word)
+    {
+        Entry &e = entries[index(word)];
+        if (!e.filled || e.word != word) {
+            e.di = decode(word);
+            e.word = word;
+            e.filled = true;
+        }
+        return e.di;
+    }
+
+  private:
+    static constexpr unsigned IndexBits = 12;
+    static constexpr size_t NumEntries = size_t(1) << IndexBits;
+
+    static size_t
+    index(InstWord word)
+    {
+        // Fibonacci hash: text words differ mostly in low bits.
+        return (uint32_t(word) * 2654435761u) >> (32 - IndexBits);
+    }
+
+    struct Entry
+    {
+        InstWord word = 0;
+        bool filled = false;
+        DecodedInst di;
+    };
+
+    std::vector<Entry> entries;
+};
+
+} // namespace zmt::isa
+
+#endif // ZMT_ISA_DECODECACHE_HH

@@ -1,5 +1,6 @@
 #include "kernel/physmem.hh"
 
+#include <bit>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -8,29 +9,51 @@ namespace zmt
 {
 
 uint8_t *
+PhysMem::cachedPage(Addr ppn) const
+{
+    CacheEntry &e = lookupCache[ppn & (CacheWays - 1)];
+    if (e.ppn == ppn)
+        return e.page;
+    auto it = pages.find(ppn);
+    if (it == pages.end())
+        return nullptr; // never cache absence: a write may materialize
+    e.ppn = ppn;
+    e.page = it->second.get();
+    return e.page;
+}
+
+uint8_t *
 PhysMem::pageFor(Addr pa)
 {
     auto ppn = pageNum(pa);
-    auto it = pages.find(ppn);
-    if (it == pages.end()) {
-        auto page = std::make_unique<uint8_t[]>(PageBytes);
-        std::memset(page.get(), 0, PageBytes);
-        it = pages.emplace(ppn, std::move(page)).first;
-    }
+    if (uint8_t *page = cachedPage(ppn))
+        return page;
+    auto page = std::make_unique<uint8_t[]>(PageBytes);
+    std::memset(page.get(), 0, PageBytes);
+    auto it = pages.emplace(ppn, std::move(page)).first;
     return it->second.get();
 }
 
 const uint8_t *
 PhysMem::pageForConst(Addr pa) const
 {
-    auto it = pages.find(pageNum(pa));
-    return it == pages.end() ? nullptr : it->second.get();
+    return cachedPage(pageNum(pa));
 }
 
 uint64_t
 PhysMem::read(Addr pa, unsigned size) const
 {
     panic_if(size == 0 || size > 8, "bad access size %u", size);
+    if constexpr (std::endian::native == std::endian::little) {
+        if ((pa & PageMask) + size <= PageBytes) {
+            const uint8_t *page = cachedPage(pageNum(pa));
+            if (!page)
+                return 0;
+            uint64_t value = 0;
+            std::memcpy(&value, page + (pa & PageMask), size);
+            return value;
+        }
+    }
     uint64_t value = 0;
     for (unsigned i = 0; i < size; ++i) {
         Addr byte_pa = pa + i;
@@ -45,6 +68,12 @@ void
 PhysMem::write(Addr pa, unsigned size, uint64_t value)
 {
     panic_if(size == 0 || size > 8, "bad access size %u", size);
+    if constexpr (std::endian::native == std::endian::little) {
+        if ((pa & PageMask) + size <= PageBytes) {
+            std::memcpy(pageFor(pa) + (pa & PageMask), &value, size);
+            return;
+        }
+    }
     for (unsigned i = 0; i < size; ++i) {
         Addr byte_pa = pa + i;
         pageFor(byte_pa)[byte_pa & PageMask] = uint8_t(value >> (8 * i));

@@ -5,11 +5,17 @@
  * Backing pages are allocated lazily on first touch, so multi-gigabyte
  * physical address spaces cost only what is actually used. All accesses
  * are little-endian and may span page boundaries.
+ *
+ * The hot path (every fetch, load, store, and PTE probe funnels
+ * through here) is a within-page access to a recently-touched page: a
+ * tiny direct-mapped cache of page lookups plus a memcpy covers it;
+ * page-crossing or first-touch accesses fall back to the byte loop.
  */
 
 #ifndef ZMT_KERNEL_PHYSMEM_HH
 #define ZMT_KERNEL_PHYSMEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -46,9 +52,26 @@ class PhysMem
     uint8_t *pageFor(Addr pa);
     const uint8_t *pageForConst(Addr pa) const;
 
-    // Backing store, keyed by physical page number. mutable-free: reads
-    // of untouched memory return zero without materializing a page.
+    /** Cached materialized-page lookup; null when not cached. */
+    uint8_t *cachedPage(Addr ppn) const;
+
+    // Backing store, keyed by physical page number. Pages are never
+    // freed or moved once materialized, so raw pointers into the map's
+    // unique_ptrs stay valid for the PhysMem's lifetime (which the
+    // lookup cache below relies on). Reads of untouched memory return
+    // zero without materializing a page.
     std::unordered_map<Addr, std::unique_ptr<uint8_t[]>> pages;
+
+    // Direct-mapped memo of recent page lookups. mutable: filling it
+    // from read() is logically const (pure lookup acceleration), and a
+    // PhysMem belongs to one Simulator, i.e. one thread.
+    struct CacheEntry
+    {
+        Addr ppn = ~Addr{0};
+        uint8_t *page = nullptr;
+    };
+    static constexpr size_t CacheWays = 8;
+    mutable std::array<CacheEntry, CacheWays> lookupCache;
 };
 
 } // namespace zmt

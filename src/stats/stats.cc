@@ -106,6 +106,32 @@ Distribution::sample(double v)
 }
 
 void
+Distribution::sample(double v, uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (count == 0) {
+        minSeen = maxSeen = v;
+    } else {
+        minSeen = std::min(minSeen, v);
+        maxSeen = std::max(maxSeen, v);
+    }
+    count += n;
+    sum += v * double(n);
+
+    if (v < lo) {
+        underflow += n;
+    } else if (v >= hi) {
+        overflow += n;
+    } else {
+        auto idx = unsigned((v - lo) / bucketWidth);
+        if (idx >= buckets.size())
+            idx = unsigned(buckets.size()) - 1;
+        buckets[idx] += n;
+    }
+}
+
+void
 Distribution::print(std::ostream &os, const std::string &prefix) const
 {
     const std::string base = prefix + name();

@@ -93,6 +93,19 @@ class Average : public StatBase
         ++count;
     }
 
+    /**
+     * Record @p v as @p n identical samples. Bit-identical to n calls
+     * of sample(v) when v is integer-valued and the sum stays below
+     * 2^53 (every repeated add is then exact) — which holds for the
+     * per-cycle pipeline stats this exists for (idle-skip batching).
+     */
+    void
+    sample(double v, uint64_t n)
+    {
+        sum += v * double(n);
+        count += n;
+    }
+
     double mean() const { return count ? sum / double(count) : 0.0; }
     uint64_t samples() const { return count; }
 
@@ -114,6 +127,10 @@ class Distribution : public StatBase
                  double min, double max, unsigned num_buckets);
 
     void sample(double v);
+
+    /** Record @p v as @p n identical samples (same exactness caveat as
+     *  Average::sample(v, n): integer-valued v, sum below 2^53). */
+    void sample(double v, uint64_t n);
 
     uint64_t samples() const { return count; }
     double mean() const { return count ? sum / double(count) : 0.0; }

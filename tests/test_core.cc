@@ -13,7 +13,9 @@
 
 #include <sstream>
 
+#include "isa/assembler.hh"
 #include "kernel/funcmachine.hh"
+#include "kernel/pal.hh"
 #include "sim/experiment.hh"
 
 namespace
@@ -539,6 +541,71 @@ TEST(Invariants, HandlerDutyCycleIsBounded)
     double duty = stat(sim, "handlerActiveCycles") / double(result.cycles);
     EXPECT_GT(duty, 0.0);
     EXPECT_LT(duty, 0.9); // the handler context must mostly be idle
+}
+
+// ---------------------------------------------------------------------
+// Livelock watchdog: RunStatus::Livelock on a *deliberate* livelock.
+// ---------------------------------------------------------------------
+
+/**
+ * Run a hand-built program through SmtCore::run(). A program that
+ * HALTs after a couple of instructions can never retire maxInsts user
+ * instructions, so the machine makes no forward progress forever —
+ * run() must trip the watchdog and return a structured status instead
+ * of hanging.
+ */
+CoreResult
+runLivelockedProgram(bool idleSkip)
+{
+    SimParams params;
+    params.except.mech = ExceptMech::PerfectTlb;
+    params.maxInsts = 1000;      // unreachable: the program halts first
+    params.watchdogCycles = 4000;
+    params.core.idleSkip = idleSkip;
+
+    PhysMem mem;
+    FrameAllocator frames;
+    PalCode pal = buildPalCode();
+    for (size_t i = 0; i < pal.prog.size(); ++i)
+        mem.write32(pal.prog.base + i * 4, pal.prog.words[i]);
+
+    isa::Assembler a;
+    a.addi(1, 31, 1).addi(2, 1, 2).halt();
+    ProcessImage image;
+    image.text = a.assemble(0x10000);
+    image.vaLimit = 0x200000;
+    Process proc(image, 1, mem, frames);
+    std::vector<Process *> procs{&proc};
+
+    stats::StatGroup root{"sim"};
+    SmtCore core(params, procs, mem, pal, &root);
+    return core.run();
+}
+
+TEST(Livelock, DeliberateLivelockReturnsStructuredStatus)
+{
+    CoreResult result = runLivelockedProgram(true);
+    ASSERT_EQ(result.status, RunStatus::Livelock);
+    EXPECT_NE(result.error.find("livelock"), std::string::npos);
+    // The partial result is still populated: the program's few
+    // instructions retired, and the watchdog bound was honoured.
+    EXPECT_GT(result.userInsts, 0u);
+    EXPECT_LT(result.userInsts, 1000u);
+    EXPECT_GT(result.cycles, 4000u);
+}
+
+TEST(Livelock, IdleSkipTripsWatchdogAtIdenticalCycle)
+{
+    // Idle-skip fast-forwards the quiescent machine, but the skip is
+    // capped at the watchdog bound: both machines must report the
+    // livelock at the exact same cycle with the same partial result.
+    CoreResult skip = runLivelockedProgram(true);
+    CoreResult tick = runLivelockedProgram(false);
+    ASSERT_EQ(skip.status, RunStatus::Livelock);
+    ASSERT_EQ(tick.status, RunStatus::Livelock);
+    EXPECT_EQ(skip.cycles, tick.cycles);
+    EXPECT_EQ(skip.userInsts, tick.userInsts);
+    EXPECT_EQ(skip.error, tick.error);
 }
 
 } // anonymous namespace
