@@ -40,6 +40,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/campaign.hh"
 #include "sim/sweep.hh"
 
 namespace zmtbench
@@ -59,6 +60,19 @@ struct BenchConfig
     std::string jsonPath;        //!< empty = results/<binary>.json
     bool emitJson = true;
     bool attrib = false;         //!< per-exception penalty attribution
+
+    /** Fault-tolerant campaign mode (--isolate/--timeout/--retries/
+     *  --shard/--journal/--resume; sim/campaign.hh). When any of these
+     *  engage, benchMain runs the job list on a CampaignRunner and
+     *  skips google-benchmark and the summary tables — their memoized
+     *  cold paths would re-run a crashing configuration in-process,
+     *  defeating the isolation. */
+    CampaignOptions campaign;
+
+    /** --inject-panic SUBSTR: arm verify.panicAtCycle on every job
+     *  whose label contains SUBSTR (fault-injection drills: prove a
+     *  crashing cell is contained and quarantined, not fatal). */
+    std::string injectPanic;
 };
 
 inline BenchConfig &
@@ -78,6 +92,7 @@ benchParseArgs(int &argc, char **argv)
 {
     BenchConfig &config = benchConfig();
     config.jobs = parseJobsFlag(argc, argv, config.jobs);
+    parseCampaignFlags(argc, argv, config.campaign);
 
     auto take_value = [&](int &i, const char *flag,
                           const char *prefix) -> const char * {
@@ -101,6 +116,9 @@ benchParseArgs(int &argc, char **argv)
             config.emitJson = false;
         } else if (std::strcmp(argv[i], "--attrib") == 0) {
             config.attrib = true;
+        } else if (const char *p = take_value(i, "--inject-panic",
+                                              "--inject-panic=")) {
+            config.injectPanic = p;
         } else {
             argv[out++] = argv[i];
         }
@@ -325,6 +343,68 @@ fmt(double value, int precision = 1)
  * google-benchmark report its (now memoized) points, print the
  * paper-style table, and emit the JSON results file.
  */
+/**
+ * Fault-tolerant campaign execution of the job list: isolation,
+ * retries, journaling, sharding, graceful SIGINT/SIGTERM drain.
+ * Exit codes: 0 all cells ok, 1 completed with failed cells,
+ * 130 interrupted (resumable via --resume on the journal).
+ */
+inline int
+benchCampaignMain(const std::string &name,
+                  const std::vector<SweepJob> &jobs)
+{
+    const BenchConfig &config = benchConfig();
+    CampaignRunner runner(config.campaign, config.jobs);
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<CampaignOutcome> outcomes = runner.run(
+        jobs, [&](size_t i, const CampaignOutcome &outcome) {
+            const char *what =
+                outcome.state == CellState::FromJournal ? "journal"
+                : outcome.ok()                          ? "ok"
+                : outcome.failure.quarantined           ? "QUARANTINED"
+                                                        : "FAILED";
+            std::fprintf(stderr, "# [%zu/%zu] %s: %s\n", i + 1,
+                         jobs.size(), jobs[i].label.c_str(), what);
+        });
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    size_t failed = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (outcomes[i].state != CellState::Failed)
+            continue;
+        ++failed;
+        const JobFailure &f = outcomes[i].failure;
+        std::fprintf(stderr, "# failure: %s: %s (%u attempt%s%s)\n",
+                     jobs[i].label.c_str(), f.message.c_str(),
+                     f.attempts, f.attempts == 1 ? "" : "s",
+                     f.quarantined ? ", quarantined" : "");
+    }
+    std::fprintf(stderr, "# campaign: %zu cells, %zu failed, %.1fs%s\n",
+                 jobs.size(), failed, wall,
+                 runner.interrupted() ? " [interrupted]" : "");
+
+    if (config.emitJson) {
+        std::string path = config.jsonPath.empty()
+                               ? "results/" + name + ".json"
+                               : config.jsonPath;
+        if (writeCampaignResultsJson(path, name, jobs, outcomes,
+                                     runner.threads(), wall,
+                                     config.campaign,
+                                     runner.interrupted()))
+            std::printf("wrote %s\n", path.c_str());
+        else
+            std::fprintf(stderr, "error: could not write %s\n",
+                         path.c_str());
+    }
+
+    if (runner.interrupted())
+        return 130;
+    return failed ? 1 : 0;
+}
+
 inline int
 benchMain(int argc, char **argv, void (*summary)())
 {
@@ -332,6 +412,23 @@ benchMain(int argc, char **argv, void (*summary)())
     std::string name = argv[0];
     if (auto slash = name.rfind('/'); slash != std::string::npos)
         name = name.substr(slash + 1);
+
+    // Fault-injection drill: arm the deterministic panic on matching
+    // cells before either execution path sees the job list.
+    if (!benchConfig().injectPanic.empty()) {
+        for (SweepJob &job : pendingJobs()) {
+            if (job.label.find(benchConfig().injectPanic) !=
+                std::string::npos)
+                job.params.verify.panicAtCycle = 1000;
+        }
+    }
+
+    // Campaign mode replaces the sweep/benchmark/summary pipeline:
+    // google-benchmark counters and summary() go through the memoized
+    // runCached cold path, which would re-run a crashed configuration
+    // in this process — exactly what isolation exists to prevent.
+    if (benchConfig().campaign.active())
+        return benchCampaignMain(name, pendingJobs());
 
     const std::vector<SweepJob> &jobs = pendingJobs();
     SweepRunner runner(benchConfig().jobs);

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small non-cryptographic hashes shared by the campaign journal and
+ * result-integrity checks. FNV-1a is the repo's standard fingerprint
+ * (the golden-run tests checksum stat dumps with it): simple, stable
+ * across platforms, and byte-order independent by construction.
+ */
+
+#ifndef ZMT_COMMON_HASH_HH
+#define ZMT_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace zmt
+{
+
+/** 64-bit FNV-1a over a byte string. */
+inline uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Fixed-width (16 char) lowercase hex rendering of a 64-bit hash. */
+inline std::string
+hex64(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[size_t(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace zmt
+
+#endif // ZMT_COMMON_HASH_HH

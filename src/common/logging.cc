@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <map>
+#include <mutex>
+#include <vector>
 
 namespace zmt
 {
@@ -15,6 +18,31 @@ namespace
 // monotonic values, never used to publish other state.
 std::atomic<bool> verboseFlag{false};
 std::atomic<uint64_t> warnings{0};
+
+// Crash flush hooks. The mutex only guards list membership; hooks run
+// outside it (on a snapshot) so a hook that logs or registers/removes
+// other hooks cannot self-deadlock.
+std::mutex hookMutex;
+std::map<uint64_t, std::function<void()>> flushHooks;
+uint64_t nextHookHandle = 1;
+
+// Set while the terminal (Panic/Fatal) path is executing on this
+// thread: a hook that itself panics must not re-enter the hook list.
+thread_local bool inTerminalPath = false;
+
+void
+runFlushHooks()
+{
+    std::vector<std::function<void()>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex);
+        snapshot.reserve(flushHooks.size());
+        for (auto &entry : flushHooks)
+            snapshot.push_back(entry.second);
+    }
+    for (auto &hook : snapshot)
+        hook();
+}
 
 const char *
 levelName(LogLevel level)
@@ -49,6 +77,29 @@ warnCount()
     return warnings.load();
 }
 
+uint64_t
+addCrashFlushHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    uint64_t handle = nextHookHandle++;
+    flushHooks.emplace(handle, std::move(hook));
+    return handle;
+}
+
+void
+removeCrashFlushHook(uint64_t handle)
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    flushHooks.erase(handle);
+}
+
+size_t
+crashFlushHookCount()
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    return flushHooks.size();
+}
+
 void
 logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
 {
@@ -73,10 +124,20 @@ logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
         std::fprintf(stderr, "%s: %s\n", levelName(level), buf);
     }
 
-    if (level == LogLevel::Panic)
-        std::abort();
-    if (level == LogLevel::Fatal)
+    if (terminal) {
+        // Flush registered diagnostics (partial stat dumps, obs event
+        // logs) before the process dies, so a crashing sweep cell
+        // leaves its evidence behind. A hook that panics lands here
+        // again with inTerminalPath set and terminates directly — no
+        // recursion through the hook list.
+        if (!inTerminalPath) {
+            inTerminalPath = true;
+            runFlushHooks();
+        }
+        if (level == LogLevel::Panic)
+            std::abort();
         std::exit(1);
+    }
 }
 
 } // namespace zmt

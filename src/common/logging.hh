@@ -19,6 +19,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace zmt
@@ -49,6 +50,27 @@ bool logVerbose();
 
 /** Count of warnings emitted so far (used by tests). */
 uint64_t warnCount();
+
+/**
+ * Crash flush hooks: callbacks run after a panic()/fatal() message is
+ * printed but before the process terminates, so in-memory diagnostics
+ * (partial stat dumps, observability event logs) are not lost with the
+ * process. SmtCore and Simulator register hooks for their own state;
+ * anything long-lived with crash-relevant context may do the same.
+ *
+ * Hooks are best-effort crash-path code: they may observe state
+ * mid-mutation (including other threads' simulations), so they must
+ * tolerate inconsistencies and never rely on running. A hook that
+ * itself panics does not recurse — the nested panic skips the hook
+ * list and terminates directly. Returns a handle for removal;
+ * removeCrashFlushHook must be called before the state a hook touches
+ * is destroyed.
+ */
+uint64_t addCrashFlushHook(std::function<void()> hook);
+void removeCrashFlushHook(uint64_t handle);
+
+/** Number of registered crash flush hooks (tests). */
+size_t crashFlushHookCount();
 
 } // namespace zmt
 

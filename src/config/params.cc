@@ -238,6 +238,7 @@ SimParams::set(const std::string &key, const std::string &value)
         return;
     }
     if (key == "verify.mutateSpliceBug") { verify.mutateSpliceBug = b(); return; }
+    if (key == "verify.panicAtCycle") { verify.panicAtCycle = u(); return; }
 
     if (key == "obs.pipeview") { obs.pipeview = value; return; }
     if (key == "obs.events") { obs.events = value; return; }
@@ -346,6 +347,7 @@ SimParams::forEachParam(
     u("verify.squeezeWindowTo", verify.squeezeWindowTo);
     u("verify.handlerSquashPeriod", verify.handlerSquashPeriod);
     b("verify.mutateSpliceBug", verify.mutateSpliceBug);
+    u("verify.panicAtCycle", verify.panicAtCycle);
 
     // Observability never changes simulated behavior, but the field
     // list stays exhaustive per the contract above; experiment.cc

@@ -209,6 +209,15 @@ struct VerifyParams
     unsigned handlerSquashPeriod = 0;
 
     /**
+     * Crash injection: panic() once the core reaches this cycle
+     * (0 = off). Exists so campaign-layer tests and CI can force a
+     * hard process death in one sweep cell and assert that
+     * process-isolated sweeps contain it (sim/campaign.hh) — unlike
+     * the other injectors it never models hardware misbehaviour.
+     */
+    uint64_t panicAtCycle = 0;
+
+    /**
      * Test-only mutation switch: deliberately break the retirement
      * splice (the handler retires without waiting for the master to
      * reach the excepting instruction). Exists to prove the
@@ -219,10 +228,12 @@ struct VerifyParams
     bool
     anyInjection() const
     {
+        // panicAtCycle counts as an injection so idle-skip stays off
+        // (the panic must fire at its exact configured cycle).
         return badPteProb > 0.0 || stealIdleProb > 0.0 ||
                forceSecondaryMissProb > 0.0 ||
                (squeezePeriod > 0 && squeezeDuration > 0) ||
-               handlerSquashPeriod > 0;
+               handlerSquashPeriod > 0 || panicAtCycle > 0;
     }
 
     bool

@@ -11,12 +11,30 @@ namespace zmt
 const char *
 runStatusName(RunStatus status)
 {
+    // Exhaustive: -Wswitch flags any RunStatus added without a name,
+    // so campaign failure records always carry a printable cause.
     switch (status) {
       case RunStatus::Ok:                 return "ok";
       case RunStatus::Livelock:           return "livelock";
       case RunStatus::InvariantViolation: return "invariant-violation";
+      case RunStatus::Crashed:            return "crashed";
+      case RunStatus::Timeout:            return "timeout";
     }
     return "?";
+}
+
+bool
+parseRunStatus(const std::string &name, RunStatus &status)
+{
+    for (RunStatus s : {RunStatus::Ok, RunStatus::Livelock,
+                        RunStatus::InvariantViolation, RunStatus::Crashed,
+                        RunStatus::Timeout}) {
+        if (name == runStatusName(s)) {
+            status = s;
+            return true;
+        }
+    }
+    return false;
 }
 
 SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
@@ -115,10 +133,19 @@ SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
         obsTl = std::make_unique<obs::ExcTimeline>(this);
         obsLog->attachSink(obsTl.get());
     }
+
+    // Best-effort crash diagnostics: a panic anywhere in the process
+    // (even another sweep worker's cell) dumps this core's pipeline
+    // state before the abort, so an isolated campaign job's captured
+    // stderr shows where every live core stood.
+    crashHookId = addCrashFlushHook([this] { dumpState(std::cerr); });
 }
 
 SmtCore::~SmtCore()
 {
+    // First thing: this destructor can itself panic (pool-drain
+    // accounting below), and a half-destroyed core must not be dumped.
+    removeCrashFlushHook(crashHookId);
     // In-flight instructions reference each other both forward
     // (dependents, woken at completion) and backward (prevWriter, the
     // rename-undo chain). Break the back edges, then drop every handle
@@ -511,6 +538,16 @@ SmtCore::run()
 
     while (!all_reached(quota)) {
         tick();
+        // Crash injection (campaign-layer testing): a hard process
+        // death, deliberately not a structured return — the point is
+        // to exercise containment, not graceful degradation. >= so the
+        // panic cannot be stepped over; anyInjection() disables
+        // idle-skip, so it fires at exactly the configured cycle.
+        if (params.verify.panicAtCycle &&
+            curCycle >= params.verify.panicAtCycle) {
+            panic("verify: injected panic at cycle %llu [%s]",
+                  (unsigned long long)curCycle, params.summary().c_str());
+        }
         if (checker && checker->failed())
             return violated();
         if (!warm && all_reached(warm_quota)) {

@@ -50,9 +50,17 @@ enum class RunStatus : uint8_t
     Ok,                 //!< retired the requested instruction budget
     Livelock,           //!< watchdog cycle bound exceeded
     InvariantViolation, //!< the InvariantChecker found illegal state
+
+    // Produced by the campaign layer (sim/campaign.hh), never by
+    // SmtCore itself: process-isolated jobs whose child died.
+    Crashed,            //!< child exited abnormally (panic/abort/OOM)
+    Timeout,            //!< child exceeded its wall-clock budget
 };
 
 const char *runStatusName(RunStatus status);
+
+/** Inverse of runStatusName(); false if @p name matches no status. */
+bool parseRunStatus(const std::string &name, RunStatus &status);
 
 /** Top-level outcome of a simulation run. */
 struct CoreResult
@@ -361,6 +369,10 @@ class SmtCore : public stats::StatGroup
     // Verification layer (null unless verify.* enables it).
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<InvariantChecker> checker;
+
+    /** Crash flush hook (common/logging.hh): dump this core's pipeline
+     *  state on panic()/fatal() so a crashing run leaves evidence. */
+    uint64_t crashHookId = 0;
 
     // Observability layer (null unless obs.* enables it). The stage
     // hooks below compile to one predicted-not-taken branch when off.

@@ -1,0 +1,1283 @@
+#include "sim/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <sys/stat.h>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "common/jsonparse.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace zmt
+{
+
+// ---------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+double
+parsePositiveDouble(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value, &end);
+    fatal_if(end == value || *end != '\0' || !(v >= 0.0),
+             "bad %s value '%s'", flag, value);
+    return v;
+}
+
+unsigned long
+parseUnsigned(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(value, &end, 10);
+    fatal_if(end == value || *end != '\0', "bad %s value '%s'", flag,
+             value);
+    return v;
+}
+
+} // anonymous namespace
+
+void
+parseCampaignFlags(int &argc, char **argv, CampaignOptions &opts)
+{
+    int out = 1;
+    // Accept both "--flag VALUE" and "--flag=VALUE", like parseJobsFlag.
+    auto takeValue = [&](int &i, const char *arg, const char *name,
+                         const char **value) -> bool {
+        size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+            *value = arg + n + 1;
+            return true;
+        }
+        if (std::strcmp(arg, name) == 0) {
+            fatal_if(i + 1 >= argc, "%s needs a value", name);
+            *value = argv[++i];
+            return true;
+        }
+        return false;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--isolate") == 0) {
+            opts.isolate = true;
+        } else if (takeValue(i, arg, "--timeout", &value)) {
+            opts.timeoutSeconds = parsePositiveDouble("--timeout", value);
+        } else if (takeValue(i, arg, "--retries", &value)) {
+            opts.retries = unsigned(parseUnsigned("--retries", value));
+        } else if (takeValue(i, arg, "--backoff", &value)) {
+            opts.backoffSeconds = parsePositiveDouble("--backoff", value);
+        } else if (takeValue(i, arg, "--shard", &value)) {
+            char *end = nullptr;
+            unsigned long index = std::strtoul(value, &end, 10);
+            bool ok = end != value && *end == '/';
+            if (ok) {
+                const char *countText = end + 1;
+                unsigned long count =
+                    std::strtoul(countText, &end, 10);
+                ok = end != countText && *end == '\0' && count >= 1 &&
+                     index < count;
+                if (ok) {
+                    opts.shardIndex = unsigned(index);
+                    opts.shardCount = unsigned(count);
+                }
+            }
+            fatal_if(!ok, "bad --shard value '%s' (want I/N with I < N)",
+                     value);
+        } else if (takeValue(i, arg, "--journal", &value)) {
+            opts.journalPath = value;
+        } else if (takeValue(i, arg, "--resume", &value)) {
+            opts.resumePath = value;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argv[out] = nullptr;
+    argc = out;
+}
+
+// ---------------------------------------------------------------------
+// Job identity + serialization
+// ---------------------------------------------------------------------
+
+std::string
+sweepJobKey(const SweepJob &job)
+{
+    std::ostringstream os;
+    os << job.label << '\n' << job.params.canonicalKey() << '\n';
+    for (const std::string &bench : job.benchmarks)
+        os << "bench:" << bench << '\n';
+    for (const WorkloadParams &workload : job.workloads)
+        os << "wload:" << canonicalKey(workload) << '\n';
+    os << "skip:" << (job.skipBaseline ? 1 : 0);
+    return hex64(fnv1a64(os.str()));
+}
+
+namespace
+{
+
+/** Percent-encode so any string becomes one whitespace-free token. */
+std::string
+encodeField(const std::string &s)
+{
+    static const char hexDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (unsigned char c : s) {
+        if (c > ' ' && c != '%' && c != 0x7f) {
+            out += char(c);
+        } else {
+            out += '%';
+            out += hexDigits[c >> 4];
+            out += hexDigits[c & 0xf];
+        }
+    }
+    // An empty value still needs a token body ("k=" parses fine, but
+    // being explicit costs nothing and reads better in journals).
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+bool
+decodeField(const std::string &s, std::string *out)
+{
+    std::string result;
+    result.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            result += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        int hi = hexNibble(s[i + 1]);
+        int lo = hexNibble(s[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        result += char(hi << 4 | lo);
+        i += 2;
+    }
+    *out = std::move(result);
+    return true;
+}
+
+/** Bit-exact double round trip (hexfloat both ways). */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+using TokenMap = std::map<std::string, std::string>;
+
+bool
+splitTokens(const std::string &text, TokenMap *kv)
+{
+    size_t i = 0;
+    while (i < text.size()) {
+        size_t space = text.find(' ', i);
+        size_t end = space == std::string::npos ? text.size() : space;
+        if (end > i) {
+            size_t eq = text.find('=', i);
+            if (eq == std::string::npos || eq >= end)
+                return false;
+            (*kv)[text.substr(i, eq - i)] =
+                text.substr(eq + 1, end - eq - 1);
+        }
+        i = end + 1;
+    }
+    return true;
+}
+
+bool
+getU64(const TokenMap &kv, const std::string &key, uint64_t *out)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(it->second.c_str(), &end, 10);
+    return end != it->second.c_str() && *end == '\0';
+}
+
+bool
+getInt(const TokenMap &kv, const std::string &key, int *out)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        return false;
+    *out = int(v);
+    return true;
+}
+
+bool
+getDouble(const TokenMap &kv, const std::string &key, double *out)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(it->second.c_str(), &end);
+    return end != it->second.c_str() && *end == '\0';
+}
+
+bool
+getString(const TokenMap &kv, const std::string &key, std::string *out)
+{
+    auto it = kv.find(key);
+    return it != kv.end() && decodeField(it->second, out);
+}
+
+void
+serializeCoreResult(std::ostringstream &os, const char *prefix,
+                    const CoreResult &r)
+{
+    os << prefix << ".status=" << runStatusName(r.status) << ' '
+       << prefix << ".error=" << encodeField(r.error) << ' '
+       << prefix << ".cycles=" << uint64_t(r.cycles) << ' '
+       << prefix << ".insts=" << r.userInsts << ' '
+       << prefix << ".misses=" << r.tlbMisses << ' '
+       << prefix << ".emul=" << r.emulations << ' '
+       << prefix << ".ipc=" << fmtDouble(r.ipc) << ' '
+       << prefix << ".mcycles=" << uint64_t(r.measuredCycles) << ' '
+       << prefix << ".minsts=" << r.measuredInsts << ' '
+       << prefix << ".mmisses=" << r.measuredMisses << ' '
+       << prefix << ".attrib=" << r.attrib.completed << ','
+       << r.attrib.aborted << ',' << r.attrib.spanCycles;
+    for (uint64_t c : r.attrib.cycles)
+        os << ',' << c;
+}
+
+bool
+parseCoreResult(const TokenMap &kv, const std::string &prefix,
+                CoreResult *r)
+{
+    std::string statusName;
+    if (!getString(kv, prefix + ".status", &statusName) ||
+        !parseRunStatus(statusName, r->status))
+        return false;
+    uint64_t cycles = 0, mcycles = 0;
+    if (!getString(kv, prefix + ".error", &r->error) ||
+        !getU64(kv, prefix + ".cycles", &cycles) ||
+        !getU64(kv, prefix + ".insts", &r->userInsts) ||
+        !getU64(kv, prefix + ".misses", &r->tlbMisses) ||
+        !getU64(kv, prefix + ".emul", &r->emulations) ||
+        !getDouble(kv, prefix + ".ipc", &r->ipc) ||
+        !getU64(kv, prefix + ".mcycles", &mcycles) ||
+        !getU64(kv, prefix + ".minsts", &r->measuredInsts) ||
+        !getU64(kv, prefix + ".mmisses", &r->measuredMisses))
+        return false;
+    r->cycles = cycles;
+    r->measuredCycles = mcycles;
+
+    auto it = kv.find(prefix + ".attrib");
+    if (it == kv.end())
+        return false;
+    std::vector<uint64_t> values;
+    const std::string &list = it->second;
+    size_t i = 0;
+    while (i <= list.size()) {
+        size_t comma = list.find(',', i);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        char *stop = nullptr;
+        std::string item = list.substr(i, end - i);
+        values.push_back(std::strtoull(item.c_str(), &stop, 10));
+        if (stop == item.c_str() || *stop != '\0')
+            return false;
+        if (comma == std::string::npos)
+            break;
+        i = comma + 1;
+    }
+    if (values.size() != 3 + obs::NumAttribCats)
+        return false;
+    r->attrib.completed = values[0];
+    r->attrib.aborted = values[1];
+    r->attrib.spanCycles = values[2];
+    for (unsigned c = 0; c < obs::NumAttribCats; ++c)
+        r->attrib.cycles[c] = values[3 + c];
+    return true;
+}
+
+} // anonymous namespace
+
+std::string
+serializeSweepOutcome(const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "wall=" << fmtDouble(outcome.wallSeconds) << ' ';
+    serializeCoreResult(os, "m", outcome.result.mech);
+    os << ' ';
+    serializeCoreResult(os, "p", outcome.result.perfect);
+    return os.str();
+}
+
+bool
+parseSweepOutcome(const std::string &text, SweepOutcome *outcome)
+{
+    TokenMap kv;
+    if (!splitTokens(text, &kv))
+        return false;
+    SweepOutcome result;
+    if (!getDouble(kv, "wall", &result.wallSeconds) ||
+        !parseCoreResult(kv, "m", &result.result.mech) ||
+        !parseCoreResult(kv, "p", &result.result.perfect))
+        return false;
+    *outcome = std::move(result);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Process isolation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+constexpr size_t StderrTailBytes = 4096;
+
+/**
+ * Bound a captured stderr stream to ~StderrTailBytes, keeping both
+ * ends: the head holds the cause (panic/fatal print first), the tail
+ * holds the end of any crash-hook state dump that follows it.
+ */
+std::string
+tailOf(const std::string &text)
+{
+    if (text.size() <= StderrTailBytes)
+        return text;
+    const size_t half = StderrTailBytes / 2;
+    return text.substr(0, half) + "\n...[" +
+           std::to_string(text.size() - 2 * half) +
+           " bytes elided]...\n" + text.substr(text.size() - half);
+}
+
+} // anonymous namespace
+
+#ifndef _WIN32
+
+ChildResult
+runInForkedChild(const std::function<std::string()> &fn,
+                 double timeoutSeconds)
+{
+    ChildResult res;
+
+    int resultPipe[2];
+    int errPipe[2];
+    if (::pipe(resultPipe) != 0) {
+        res.stderrTail = "pipe() failed";
+        return res;
+    }
+    if (::pipe(errPipe) != 0) {
+        ::close(resultPipe[0]);
+        ::close(resultPipe[1]);
+        res.stderrTail = "pipe() failed";
+        return res;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {resultPipe[0], resultPipe[1], errPipe[0],
+                       errPipe[1]})
+            ::close(fd);
+        res.stderrTail = "fork() failed";
+        return res;
+    }
+
+    if (pid == 0) {
+        // Child: run fn() with stderr captured, write the payload over
+        // the result pipe and _exit without running atexit handlers or
+        // static destructors (glibc's fork leaves malloc and stdio
+        // consistent even when the parent has worker threads).
+        ::close(resultPipe[0]);
+        ::close(errPipe[0]);
+        ::dup2(errPipe[1], 2);
+        ::close(errPipe[1]);
+        std::string payload = fn();
+        const char *p = payload.data();
+        size_t left = payload.size();
+        while (left > 0) {
+            ssize_t w = ::write(resultPipe[1], p, left);
+            if (w <= 0)
+                break;
+            p += size_t(w);
+            left -= size_t(w);
+        }
+        ::close(resultPipe[1]);
+        ::_exit(0);
+    }
+
+    // Parent: drain both pipes to EOF, enforcing the wall-clock budget.
+    ::close(resultPipe[1]);
+    ::close(errPipe[1]);
+
+    std::string payload;
+    std::string childErr;
+    std::string *sinks[2] = {&payload, &childErr};
+    struct pollfd fds[2] = {{resultPipe[0], POLLIN, 0},
+                            {errPipe[0], POLLIN, 0}};
+    bool killed = false;
+    int openFds = 2;
+    while (openFds > 0) {
+        int timeoutMs = -1;
+        if (timeoutSeconds > 0.0 && !killed) {
+            double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+            double budget = timeoutSeconds - elapsed;
+            if (budget <= 0.0) {
+                ::kill(pid, SIGKILL);
+                killed = true;
+            } else {
+                timeoutMs = int(budget * 1000.0) + 1;
+            }
+        }
+        int rv = ::poll(fds, 2, timeoutMs);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rv == 0)
+            continue; // deadline re-checked at the top
+        for (int i = 0; i < 2; ++i) {
+            if (fds[i].fd < 0 || fds[i].revents == 0)
+                continue;
+            char buf[4096];
+            ssize_t n = ::read(fds[i].fd, buf, sizeof(buf));
+            if (n > 0) {
+                sinks[i]->append(buf, size_t(n));
+            } else {
+                ::close(fds[i].fd);
+                fds[i].fd = -1;
+                --openFds;
+            }
+        }
+    }
+    for (auto &fd : fds)
+        if (fd.fd >= 0)
+            ::close(fd.fd);
+
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+
+    res.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    res.payload = std::move(payload);
+    res.stderrTail = tailOf(childErr);
+    if (killed) {
+        res.state = ChildResult::State::TimedOut;
+        res.termSignal = SIGKILL;
+    } else if (WIFSIGNALED(wstatus)) {
+        res.state = ChildResult::State::Signaled;
+        res.termSignal = WTERMSIG(wstatus);
+    } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0) {
+        res.state = ChildResult::State::Exited;
+        res.exitCode = WEXITSTATUS(wstatus);
+    } else {
+        res.state = ChildResult::State::Ok;
+    }
+    return res;
+}
+
+#else // _WIN32
+
+ChildResult
+runInForkedChild(const std::function<std::string()> &fn,
+                 double timeoutSeconds)
+{
+    // No fork: degrade to in-process execution. A crash takes the
+    // runner with it and the timeout cannot be enforced, but the
+    // journal still makes the campaign resumable after that crash.
+    (void)timeoutSeconds;
+    warn("process isolation unavailable on this platform; "
+         "running in-process");
+    ChildResult res;
+    auto start = std::chrono::steady_clock::now();
+    res.payload = fn();
+    res.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    res.state = ChildResult::State::Ok;
+    return res;
+}
+
+#endif // _WIN32
+
+// ---------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char JournalHeader[] = "zmt-journal-v1";
+
+std::string
+serializeJournalRecord(const JournalRecord &rec)
+{
+    std::ostringstream os;
+    os << "key=" << rec.key << " label=" << encodeField(rec.label)
+       << " status=" << runStatusName(rec.status)
+       << " attempts=" << rec.attempts
+       << " quarantined=" << (rec.quarantined ? 1 : 0)
+       << " exit=" << rec.exitCode << " signal=" << rec.termSignal
+       << " message=" << encodeField(rec.message)
+       << " stderr=" << encodeField(rec.stderrTail)
+       << " result=" << encodeField(rec.result);
+    return os.str();
+}
+
+bool
+parseJournalRecord(const std::string &payload, JournalRecord *rec,
+                   std::string *why)
+{
+    TokenMap kv;
+    if (!splitTokens(payload, &kv)) {
+        *why = "malformed record";
+        return false;
+    }
+    JournalRecord r;
+    std::string statusName;
+    uint64_t attempts = 0, quarantined = 0;
+    bool ok = getString(kv, "key", &r.key) &&
+              getString(kv, "label", &r.label) &&
+              getString(kv, "status", &statusName) &&
+              parseRunStatus(statusName, r.status) &&
+              getU64(kv, "attempts", &attempts) &&
+              getU64(kv, "quarantined", &quarantined) &&
+              getInt(kv, "exit", &r.exitCode) &&
+              getInt(kv, "signal", &r.termSignal) &&
+              getString(kv, "message", &r.message) &&
+              getString(kv, "stderr", &r.stderrTail) &&
+              getString(kv, "result", &r.result);
+    if (!ok) {
+        *why = "missing or malformed record field";
+        return false;
+    }
+    r.attempts = unsigned(attempts);
+    r.quarantined = quarantined != 0;
+    *rec = std::move(r);
+    return true;
+}
+
+bool
+parseJournalLine(const std::string &line, JournalRecord *rec,
+                 std::string *why)
+{
+    if (line.size() < 18 || line[16] != ' ') {
+        *why = "truncated record";
+        return false;
+    }
+    std::string payload = line.substr(17);
+    if (hex64(fnv1a64(payload)) != line.substr(0, 16)) {
+        *why = "record checksum mismatch";
+        return false;
+    }
+    return parseJournalRecord(payload, rec, why);
+}
+
+} // anonymous namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+bool
+CampaignJournal::open(const std::string &path)
+{
+#ifndef _WIN32
+    close();
+    fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+                0644);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+        std::string header = std::string(JournalHeader) + "\n";
+        if (::write(fd, header.data(), header.size()) !=
+            ssize_t(header.size())) {
+            close();
+            return false;
+        }
+        ::fsync(fd);
+    }
+    return true;
+#else
+    (void)path;
+    return false;
+#endif
+}
+
+void
+CampaignJournal::append(const JournalRecord &record)
+{
+#ifndef _WIN32
+    if (fd < 0)
+        return;
+    std::string payload = serializeJournalRecord(record);
+    std::string line = hex64(fnv1a64(payload)) + " " + payload + "\n";
+    std::lock_guard<std::mutex> lock(mutex);
+    // One write() + fsync per record: O_APPEND makes the write atomic
+    // with respect to other appenders, and a crash can at worst leave
+    // one truncated trailing line — which loadJournal tolerates.
+    ssize_t written = ::write(fd, line.data(), line.size());
+    if (written != ssize_t(line.size())) {
+        warn("campaign journal append failed (%zd of %zu bytes)",
+             written, line.size());
+        return;
+    }
+    ::fsync(fd);
+#else
+    (void)record;
+#endif
+}
+
+void
+CampaignJournal::close()
+{
+#ifndef _WIN32
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+#endif
+}
+
+bool
+loadJournal(const std::string &path, std::vector<JournalRecord> *records,
+            std::string *error, bool *truncatedTrailing)
+{
+    if (truncatedTrailing)
+        *truncatedTrailing = false;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    if (content.empty())
+        return true;
+
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < content.size()) {
+        size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(content.substr(pos));
+            break;
+        }
+        lines.push_back(content.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+
+    if (lines.empty() || lines[0] != JournalHeader) {
+        if (error)
+            *error = "'" + path + "' is not a " + JournalHeader + " file";
+        return false;
+    }
+
+    for (size_t i = 1; i < lines.size(); ++i) {
+        JournalRecord rec;
+        std::string why;
+        if (!parseJournalLine(lines[i], &rec, &why)) {
+            // The writer appends one fsync'd line at a time, so a bad
+            // FINAL line is the signature of a crash mid-append: drop
+            // it and resume. A bad line anywhere else means the file
+            // was damaged after the fact — refuse to trust any of it.
+            if (i + 1 == lines.size()) {
+                if (truncatedTrailing)
+                    *truncatedTrailing = true;
+                break;
+            }
+            if (error)
+                *error = "'" + path + "' line " + std::to_string(i + 1) +
+                         ": " + why;
+            return false;
+        }
+        records->push_back(std::move(rec));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Campaign runner
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<int> gStopRequested{0};
+
+void
+stopSignalHandler(int)
+{
+    gStopRequested.store(1);
+}
+
+bool
+stopRequested()
+{
+    return gStopRequested.load() != 0;
+}
+
+void
+sleepWithStopCheck(double seconds)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(seconds);
+    while (!stopRequested() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+SweepOutcome
+measureJob(const SweepJob &job)
+{
+    SweepOutcome outcome;
+    trace::setRunLabel(job.label);
+    auto start = std::chrono::steady_clock::now();
+    if (!job.workloads.empty()) {
+        outcome.result =
+            measurePenalty(job.params, job.workloads, job.skipBaseline);
+    } else {
+        outcome.result = measurePenalty(job.params, job.benchmarks);
+    }
+    outcome.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    trace::setRunLabel("");
+    return outcome;
+}
+
+bool
+sameFailureSignature(const JobFailure &a, const JobFailure &b)
+{
+    return a.status == b.status && a.exitCode == b.exitCode &&
+           a.termSignal == b.termSignal;
+}
+
+JournalRecord
+makeJournalRecord(const std::string &key, const SweepJob &job,
+                  const CampaignOutcome &outcome)
+{
+    JournalRecord rec;
+    rec.key = key;
+    rec.label = job.label;
+    if (outcome.ok()) {
+        rec.status = RunStatus::Ok;
+        rec.attempts =
+            outcome.failure.attempts ? outcome.failure.attempts : 1;
+        rec.result = serializeSweepOutcome(outcome.outcome);
+    } else {
+        rec.status = outcome.failure.status;
+        rec.attempts = outcome.failure.attempts;
+        rec.quarantined = outcome.failure.quarantined;
+        rec.exitCode = outcome.failure.exitCode;
+        rec.termSignal = outcome.failure.termSignal;
+        rec.message = outcome.failure.message;
+        rec.stderrTail = outcome.failure.stderrTail;
+    }
+    return rec;
+}
+
+} // anonymous namespace
+
+CampaignRunner::CampaignRunner(CampaignOptions opts, unsigned jobs)
+    : options(std::move(opts)), runner(jobs)
+{
+}
+
+void
+CampaignRunner::requestStop()
+{
+    gStopRequested.store(1);
+}
+
+CampaignOutcome
+CampaignRunner::attemptJob(const SweepJob &job)
+{
+    CampaignOutcome out;
+
+    // A timeout can only be enforced on a killable child, so
+    // --timeout implies isolation even without --isolate.
+    if (!options.isolate && options.timeoutSeconds <= 0.0) {
+        out.outcome = measureJob(job);
+        out.state = CellState::Done;
+        return out;
+    }
+
+    ChildResult child = runInForkedChild(
+        [&job] {
+            return "OK " + serializeSweepOutcome(measureJob(job));
+        },
+        options.timeoutSeconds);
+
+    out.state = CellState::Failed;
+    out.failure.exitCode = child.exitCode;
+    out.failure.termSignal = child.termSignal;
+    out.failure.stderrTail = child.stderrTail;
+    switch (child.state) {
+      case ChildResult::State::Ok:
+        if (child.payload.compare(0, 3, "OK ") == 0 &&
+            parseSweepOutcome(child.payload.substr(3), &out.outcome)) {
+            out.state = CellState::Done;
+            out.failure = JobFailure{};
+        } else {
+            out.failure.status = RunStatus::Crashed;
+            out.failure.message = "child result payload unparseable";
+        }
+        break;
+      case ChildResult::State::Exited:
+        out.failure.status = RunStatus::Crashed;
+        out.failure.message = "child exited with status " +
+                              std::to_string(child.exitCode);
+        break;
+      case ChildResult::State::Signaled:
+        out.failure.status = RunStatus::Crashed;
+        out.failure.message = "child killed by signal " +
+                              std::to_string(child.termSignal);
+        break;
+      case ChildResult::State::TimedOut:
+        out.failure.status = RunStatus::Timeout;
+        out.failure.message =
+            "child exceeded its wall-clock budget";
+        break;
+      case ChildResult::State::ForkFailed:
+        out.failure.status = RunStatus::Crashed;
+        out.failure.message = "could not fork an isolated child: " +
+                              child.stderrTail;
+        break;
+    }
+    return out;
+}
+
+CampaignOutcome
+CampaignRunner::runOneJob(const SweepJob &job)
+{
+    const unsigned maxAttempts = options.retries + 1;
+    JobFailure previous;
+    CampaignOutcome out;
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        if (attempt > 1) {
+            // Exponential backoff: base * 2^(retry - 1).
+            sleepWithStopCheck(options.backoffSeconds *
+                               double(1u << (attempt - 2 > 20
+                                                 ? 20
+                                                 : attempt - 2)));
+            // Interrupted before this retry started: report the last
+            // attempt's failure as-is (not quarantined — the retry
+            // budget was cut short, so a resume should try again).
+            if (stopRequested())
+                return out;
+        }
+        out = attemptJob(job);
+        out.failure.attempts = attempt;
+        if (out.ok())
+            return out;
+        // Two consecutive identical failures mean the failure is
+        // deterministic — further retries just repeat the crash.
+        if (attempt > 1 && sameFailureSignature(out.failure, previous)) {
+            out.failure.quarantined = true;
+            return out;
+        }
+        previous = out.failure;
+        if (stopRequested())
+            return out;
+    }
+    if (out.state == CellState::Failed)
+        out.failure.quarantined = true; // retry budget exhausted
+    return out;
+}
+
+std::vector<CampaignOutcome>
+CampaignRunner::run(const std::vector<SweepJob> &jobs,
+                    const ProgressFn &progress)
+{
+    std::vector<CampaignOutcome> outcomes(jobs.size());
+
+    // Resume: last-wins map of completed cells from a prior journal.
+    std::map<std::string, const JournalRecord *> resumeMap;
+    std::vector<JournalRecord> resumeRecords;
+    if (!options.resumePath.empty()) {
+        std::string error;
+        bool truncated = false;
+        if (!loadJournal(options.resumePath, &resumeRecords, &error,
+                         &truncated))
+            fatal("cannot resume: %s", error.c_str());
+        if (truncated)
+            warn("resume journal '%s': dropped a truncated trailing "
+                 "record (crashed mid-append)",
+                 options.resumePath.c_str());
+        for (const JournalRecord &rec : resumeRecords)
+            resumeMap[rec.key] = &rec;
+    }
+
+    CampaignJournal journal;
+    if (!options.journalPath.empty())
+        fatal_if(!journal.open(options.journalPath),
+                 "cannot open campaign journal '%s'",
+                 options.journalPath.c_str());
+    // Appending FromJournal cells again is only useful when the new
+    // journal is a different file (otherwise they are already there).
+    const bool rejournalResumed =
+        journal.isOpen() && options.journalPath != options.resumePath;
+
+    gStopRequested.store(0);
+    wasInterrupted = false;
+
+#ifndef _WIN32
+    struct sigaction action {};
+    struct sigaction oldInt {};
+    struct sigaction oldTerm {};
+    action.sa_handler = stopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &oldInt);
+    ::sigaction(SIGTERM, &action, &oldTerm);
+#endif
+
+    std::mutex progressMutex;
+    runner.parallelFor(jobs.size(), [&](size_t i) {
+        if (i % options.shardCount != options.shardIndex) {
+            outcomes[i].state = CellState::OtherShard;
+            return;
+        }
+        if (stopRequested())
+            return; // stays Pending: resumable
+        const SweepJob &job = jobs[i];
+        const std::string key = sweepJobKey(job);
+
+        auto hit = resumeMap.find(key);
+        if (hit != resumeMap.end() &&
+            hit->second->status == RunStatus::Ok) {
+            SweepOutcome fromJournal;
+            if (parseSweepOutcome(hit->second->result, &fromJournal)) {
+                outcomes[i].state = CellState::FromJournal;
+                outcomes[i].outcome = std::move(fromJournal);
+                outcomes[i].failure.attempts = hit->second->attempts;
+                if (rejournalResumed)
+                    journal.append(
+                        makeJournalRecord(key, job, outcomes[i]));
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    progress(i, outcomes[i]);
+                }
+                return;
+            }
+            warn("resume journal: unparseable result for '%s'; "
+                 "re-running",
+                 job.label.c_str());
+        }
+
+        outcomes[i] = runOneJob(job);
+        if (outcomes[i].state == CellState::Pending)
+            return; // interrupted before any attempt finished
+        if (journal.isOpen())
+            journal.append(makeJournalRecord(key, job, outcomes[i]));
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress(i, outcomes[i]);
+        }
+    });
+
+#ifndef _WIN32
+    ::sigaction(SIGINT, &oldInt, nullptr);
+    ::sigaction(SIGTERM, &oldTerm, nullptr);
+#endif
+
+    wasInterrupted = stopRequested();
+    return outcomes;
+}
+
+// ---------------------------------------------------------------------
+// Results JSON + merging
+// ---------------------------------------------------------------------
+
+std::string
+jobFailureJson(const JobFailure &failure)
+{
+    std::ostringstream os;
+    os << "{\"status\":\"" << jsonEscape(runStatusName(failure.status))
+       << "\",\"exit_code\":" << failure.exitCode
+       << ",\"signal\":" << failure.termSignal
+       << ",\"attempts\":" << failure.attempts << ",\"quarantined\":"
+       << (failure.quarantined ? "true" : "false") << ",\"message\":\""
+       << jsonEscape(failure.message) << "\",\"stderr_tail\":\""
+       << jsonEscape(failure.stderrTail) << "\"}";
+    return os.str();
+}
+
+std::string
+campaignResultsJson(const std::string &name,
+                    const std::vector<SweepJob> &jobs,
+                    const std::vector<CampaignOutcome> &outcomes,
+                    unsigned threads, double wallSeconds,
+                    const CampaignOptions &options, bool interrupted)
+{
+    panic_if(jobs.size() != outcomes.size(),
+             "campaign JSON: %zu jobs but %zu outcomes", jobs.size(),
+             outcomes.size());
+
+    size_t done = 0, fromJournal = 0, failed = 0, quarantined = 0;
+    size_t otherShard = 0, pending = 0;
+    for (const CampaignOutcome &outcome : outcomes) {
+        switch (outcome.state) {
+          case CellState::Done: ++done; break;
+          case CellState::FromJournal: ++fromJournal; break;
+          case CellState::Failed:
+            ++failed;
+            if (outcome.failure.quarantined)
+                ++quarantined;
+            break;
+          case CellState::OtherShard: ++otherShard; break;
+          case CellState::Pending: ++pending; break;
+        }
+    }
+
+    std::ostringstream os;
+    os << "{\"schema\":\"zmt-sweep-results-v1\",\"name\":\""
+       << jsonEscape(name) << "\",\"jobs\":" << threads
+       << ",\"wall_seconds\":" << jsonNumber(wallSeconds)
+       << ",\"campaign\":{\"isolate\":"
+       << (options.isolate ? "true" : "false") << ",\"timeout_seconds\":"
+       << jsonNumber(options.timeoutSeconds)
+       << ",\"retries\":" << options.retries
+       << ",\"shard_index\":" << options.shardIndex
+       << ",\"shard_count\":" << options.shardCount
+       << ",\"interrupted\":" << (interrupted ? "true" : "false")
+       << ",\"completed\":" << done
+       << ",\"from_journal\":" << fromJournal << ",\"failed\":" << failed
+       << ",\"quarantined\":" << quarantined
+       << ",\"other_shard\":" << otherShard << ",\"pending\":" << pending
+       << "},\"cells\":[";
+
+    bool first = true;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const CampaignOutcome &outcome = outcomes[i];
+        if (outcome.state == CellState::OtherShard ||
+            outcome.state == CellState::Pending)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        if (outcome.state == CellState::Failed) {
+            // No simulation result exists: zeroed counters, the
+            // failure's RunStatus on the mech record, perfect null.
+            SweepOutcome failedOutcome;
+            failedOutcome.result.mech.status = outcome.failure.status;
+            emitSweepCell(os, i, jobs[i], failedOutcome,
+                          jobFailureJson(outcome.failure), true);
+        } else {
+            emitSweepCell(os, i, jobs[i], outcome.outcome);
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeCampaignResultsJson(const std::string &path, const std::string &name,
+                         const std::vector<SweepJob> &jobs,
+                         const std::vector<CampaignOutcome> &outcomes,
+                         unsigned threads, double wallSeconds,
+                         const CampaignOptions &options, bool interrupted)
+{
+    auto slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0)
+        ::mkdir(path.substr(0, slash).c_str(), 0777); // EEXIST is fine
+
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << campaignResultsJson(name, jobs, outcomes, threads, wallSeconds,
+                               options, interrupted);
+    return bool(out);
+}
+
+bool
+mergeSweepResults(const std::vector<std::string> &documents,
+                  std::string *merged, std::string *error, bool allowGaps)
+{
+    using jsonspan::Span;
+
+    auto fail = [&](const std::string &message) {
+        if (error)
+            *error = message;
+        return false;
+    };
+
+    struct MergedCell
+    {
+        std::string text; //!< raw emitter bytes, wall_seconds zeroed
+        bool ok;          //!< "failure" member was null
+    };
+    std::map<size_t, MergedCell> cells;
+    std::string name;
+    bool haveName = false;
+
+    for (size_t d = 0; d < documents.size(); ++d) {
+        const std::string &doc = documents[d];
+        auto where = [&](const std::string &what) {
+            return "input " + std::to_string(d + 1) + ": " + what;
+        };
+
+        Span root;
+        std::string parseError;
+        if (!jsonspan::validate(doc, &root, &parseError))
+            return fail(where(parseError));
+
+        Span span;
+        std::string schema;
+        if (!jsonspan::objectField(doc, root, "schema", &span) ||
+            !jsonspan::decodeString(doc, span, &schema))
+            return fail(where("missing schema"));
+        if (schema != "zmt-sweep-results-v1")
+            return fail(where("unsupported schema '" + schema + "'"));
+
+        std::string docName;
+        if (!jsonspan::objectField(doc, root, "name", &span) ||
+            !jsonspan::decodeString(doc, span, &docName))
+            return fail(where("missing name"));
+        if (!haveName) {
+            name = docName;
+            haveName = true;
+        } else if (docName != name) {
+            return fail(where("sweep name '" + docName +
+                              "' does not match '" + name + "'"));
+        }
+
+        Span cellsSpan;
+        std::vector<Span> elements;
+        if (!jsonspan::objectField(doc, root, "cells", &cellsSpan) ||
+            !jsonspan::arrayElements(doc, cellsSpan, &elements))
+            return fail(where("missing cells array"));
+
+        for (const Span &cell : elements) {
+            double indexValue = 0.0;
+            if (!jsonspan::objectField(doc, cell, "index", &span) ||
+                !jsonspan::decodeNumber(doc, span, &indexValue) ||
+                indexValue < 0 ||
+                indexValue != std::floor(indexValue))
+                return fail(where(
+                    "cell without a valid \"index\" (output of an "
+                    "older sweep binary?)"));
+            size_t index = size_t(indexValue);
+
+            if (!jsonspan::objectField(doc, cell, "failure", &span))
+                return fail(where("cell " + std::to_string(index) +
+                                  " lacks a \"failure\" member"));
+            bool cellOk = jsonspan::isNull(doc, span);
+
+            // Zero the per-cell wall clock by splicing the raw bytes:
+            // everything else is machine-independent simulator output
+            // and must survive the merge byte-for-byte.
+            std::string text;
+            if (jsonspan::objectField(doc, cell, "wall_seconds",
+                                      &span)) {
+                text = doc.substr(cell.begin, span.begin - cell.begin) +
+                       "0" + doc.substr(span.end, cell.end - span.end);
+            } else {
+                text = doc.substr(cell.begin, cell.size());
+            }
+
+            auto it = cells.find(index);
+            if (it == cells.end()) {
+                cells.emplace(index,
+                              MergedCell{std::move(text), cellOk});
+                continue;
+            }
+            if (cellOk && it->second.ok) {
+                if (text != it->second.text)
+                    return fail(where("conflicting results for cell "
+                                      "index " +
+                                      std::to_string(index)));
+                continue; // identical duplicate (overlapping resume)
+            }
+            if (cellOk) {
+                // ok beats failed: the resume re-ran a failed cell.
+                it->second = MergedCell{std::move(text), true};
+            } else if (!it->second.ok) {
+                // Both failed: keep the later attempt's record.
+                it->second = MergedCell{std::move(text), false};
+            }
+            // failed vs existing ok: drop the failed duplicate.
+        }
+    }
+
+    if (!haveName)
+        return fail("no input documents");
+
+    if (!allowGaps) {
+        size_t expected = 0;
+        for (const auto &entry : cells) {
+            if (entry.first != expected)
+                return fail("cell index " + std::to_string(expected) +
+                            " is missing (incomplete shard set or "
+                            "interrupted campaign; --allow-gaps to "
+                            "merge anyway)");
+            ++expected;
+        }
+    }
+
+    std::ostringstream os;
+    os << "{\"schema\":\"zmt-sweep-results-v1\",\"name\":\""
+       << jsonEscape(name) << "\",\"jobs\":0,\"wall_seconds\":0,"
+       << "\"cells\":[";
+    bool first = true;
+    for (const auto &entry : cells) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  " << entry.second.text;
+    }
+    os << "\n]}\n";
+    *merged = os.str();
+    return true;
+}
+
+} // namespace zmt

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <fstream>
+#include <iostream>
 #include <malloc.h>
 
 #include "common/logging.hh"
@@ -55,7 +56,12 @@ Simulator::Simulator(const SimParams &params,
     build(params, workloads);
 }
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator()
+{
+    // Before members are destroyed: the hook reads the stats tree and
+    // the core's obs state.
+    removeCrashFlushHook(crashHookId);
+}
 
 void
 Simulator::build(const SimParams &params,
@@ -80,6 +86,16 @@ Simulator::build(const SimParams &params,
     }
 
     _core = std::make_unique<SmtCore>(params, raw, physMem, pal, &root);
+
+    // Crash flush hook: on panic()/fatal() anywhere in the process,
+    // salvage this run's partial stat dump (stderr) and whatever obs
+    // exports were requested, so a crashing cell's diagnostics survive
+    // for the campaign layer's captured-stderr failure record.
+    crashHookId = addCrashFlushHook([this] {
+        std::cerr << "=== crash flush: partial stats ===\n";
+        dumpStats(std::cerr);
+        flushObsExportsBestEffort();
+    });
 }
 
 CoreResult
@@ -108,6 +124,23 @@ Simulator::writeObsExports() const
         fatal_if(!os, "cannot open events file '%s'",
                  obsParams.events.c_str());
         obs::writeChromeTrace(os, *tl);
+    }
+}
+
+void
+Simulator::flushObsExportsBestEffort() const
+{
+    // Crash path: no fatal()s (we are already inside one), no
+    // assumptions — write what exists, skip what doesn't.
+    if (!obsParams.pipeview.empty() && _core && _core->eventLog()) {
+        std::ofstream os(obsParams.pipeview);
+        if (os)
+            obs::writeKonata(os, *_core->eventLog());
+    }
+    if (!obsParams.events.empty() && _core && _core->excTimeline()) {
+        std::ofstream os(obsParams.events);
+        if (os)
+            obs::writeChromeTrace(os, *_core->excTimeline());
     }
 }
 

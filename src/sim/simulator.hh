@@ -67,6 +67,12 @@ class Simulator
 
     void writeObsExports() const;
 
+    /** Best-effort variant for the crash flush hook: never fatals,
+     *  writes whatever exports are configured and reachable. */
+    void flushObsExportsBestEffort() const;
+
+    uint64_t crashHookId = 0; //!< common/logging.hh flush hook handle
+
     stats::StatGroup root{"sim"};
     ObsParams obsParams; //!< export destinations, captured at build
     PhysMem physMem;

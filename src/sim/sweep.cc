@@ -143,13 +143,16 @@ emitCoreResult(std::ostream &os, const CoreResult &r)
     os << "}}";
 }
 
+} // anonymous namespace
+
 void
-emitCell(std::ostream &os, const SweepJob &job,
-         const SweepOutcome &outcome)
+emitSweepCell(std::ostream &os, size_t index, const SweepJob &job,
+              const SweepOutcome &outcome, const std::string &failureJson,
+              bool nullPerfect)
 {
     const PenaltyResult &r = outcome.result;
-    os << "{\"label\":\"" << jsonEscape(job.label)
-       << "\",\"benchmarks\":[";
+    os << "{\"index\":" << index << ",\"label\":\""
+       << jsonEscape(job.label) << "\",\"benchmarks\":[";
     for (size_t i = 0; i < job.benchmarks.size(); ++i)
         os << (i ? "," : "") << "\"" << jsonEscape(job.benchmarks[i])
            << "\"";
@@ -163,12 +166,12 @@ emitCell(std::ostream &os, const SweepJob &job,
        << ",\"mech\":";
     emitCoreResult(os, r.mech);
     os << ",\"perfect\":";
-    if (job.skipBaseline)
+    if (job.skipBaseline || nullPerfect)
         os << "null";
     else
         emitCoreResult(os, r.perfect);
     os << ",\"wall_seconds\":" << jsonNumber(outcome.wallSeconds)
-       << ",\"params\":{";
+       << ",\"failure\":" << failureJson << ",\"params\":{";
     bool first = true;
     job.params.forEachParam(
         [&](const std::string &name, const std::string &value) {
@@ -178,8 +181,6 @@ emitCell(std::ostream &os, const SweepJob &job,
         });
     os << "}}";
 }
-
-} // anonymous namespace
 
 std::string
 sweepResultsJson(const std::string &name,
@@ -199,7 +200,7 @@ sweepResultsJson(const std::string &name,
         if (i)
             os << ",";
         os << "\n  ";
-        emitCell(os, jobs[i], outcomes[i]);
+        emitSweepCell(os, i, jobs[i], outcomes[i]);
     }
     os << "\n]}\n";
     return os.str();

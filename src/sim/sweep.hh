@@ -23,6 +23,7 @@
 #define ZMT_SIM_SWEEP_HH
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,22 @@ std::string sweepResultsJson(const std::string &name,
                              const std::vector<SweepJob> &jobs,
                              const std::vector<SweepOutcome> &outcomes,
                              unsigned threads, double wallSeconds);
+
+/**
+ * Emit one result cell (the element format of "cells" above). Every
+ * cell carries its submission "index" so shard/resume outputs merge
+ * back into submission order (tools/sweep_merge), and a "failure"
+ * member — @p failureJson is "null" for a clean run or a structured
+ * object from the campaign layer (sim/campaign.hh) for a cell whose
+ * isolated child crashed or timed out. @p nullPerfect forces
+ * "perfect":null (used for failed cells, where no baseline exists,
+ * in addition to the skipBaseline case). Shared by the plain sweep
+ * and campaign emitters so both produce byte-compatible cells.
+ */
+void emitSweepCell(std::ostream &os, size_t index, const SweepJob &job,
+                   const SweepOutcome &outcome,
+                   const std::string &failureJson = "null",
+                   bool nullPerfect = false);
 
 /**
  * Write sweepResultsJson to @p path (creating the parent directory if

@@ -268,6 +268,7 @@ TEST(SweepJson, SchemaFieldsPresentAndParseable)
     for (const char *key :
          {"\"schema\":\"zmt-sweep-results-v1\"", "\"name\":\"bench_unit\"",
           "\"jobs\":8", "\"wall_seconds\":", "\"cells\":[", "\"label\":",
+          "\"index\":0", "\"failure\":null",
           "\"benchmarks\":[\"compress\"]", "\"penalty_per_miss\":",
           "\"tlb_fraction\":", "\"ipc\":", "\"misses_per_kinst\":",
           "\"mech\":{\"status\":\"ok\"", "\"measured_cycles\":",

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Merge zmt-sweep-results-v1 shard/resume documents into one canonical
+ * results file.
+ *
+ *   sweep_merge [--out FILE] [--allow-gaps] shard0.json shard1.json ...
+ *
+ * Thin CLI over zmt::mergeSweepResults (sim/campaign.hh): cells are
+ * reassembled by their submission "index" from raw emitter bytes, so
+ * the merged document is byte-identical regardless of how the campaign
+ * was split across shards, interrupted, or resumed — host-side noise
+ * (wall clocks, thread counts) is normalized to zero. Conflicting
+ * duplicate cells and (without --allow-gaps) missing indices are hard
+ * errors: a quiet partial merge would masquerade as a complete
+ * campaign.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--out FILE] [--allow-gaps] FILE...\n"
+                 "  --out FILE     write the merged document here "
+                 "(default: stdout)\n"
+                 "  --allow-gaps   permit missing cell indices "
+                 "(incomplete shard sets)\n",
+                 argv0);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    bool allowGaps = false;
+    std::vector<std::string> inputPaths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--allow-gaps") == 0) {
+            allowGaps = true;
+        } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
+            outPath = arg + 6;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (arg[0] == '-' && arg[1] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg);
+            usage(argv[0]);
+            return 2;
+        } else {
+            inputPaths.push_back(arg);
+        }
+    }
+
+    if (inputPaths.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<std::string> documents;
+    documents.reserve(inputPaths.size());
+    for (const std::string &path : inputPaths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "sweep_merge: cannot open '%s'\n",
+                         path.c_str());
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        documents.push_back(buffer.str());
+    }
+
+    std::string merged;
+    std::string error;
+    if (!zmt::mergeSweepResults(documents, &merged, &error, allowGaps)) {
+        std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (outPath.empty()) {
+        std::cout << merged;
+    } else {
+        std::ofstream out(outPath, std::ios::binary);
+        if (!out || !(out << merged)) {
+            std::fprintf(stderr, "sweep_merge: cannot write '%s'\n",
+                         outPath.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

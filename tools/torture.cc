@@ -20,6 +20,14 @@
  * Usage: torture [runs=200] [seed=1] [insts=8000] [only=-1]
  *                [require_coverage=1] [verbose=0] [jobs=0]
  *                [json=results/torture.json]
+ *                [isolate=0|1] [timeout=SECONDS]
+ *
+ * isolate=1 runs every configuration in a forked child
+ * (sim/campaign.hh), so a panic, sanitizer abort or OOM in one run is
+ * reported as that run's failure instead of killing the whole sweep;
+ * timeout=S additionally SIGKILLs runs that exceed S seconds of wall
+ * clock (timeout implies isolation). Failures always propagate into
+ * the exit code and the JSON "failures" array.
  */
 
 #include <chrono>
@@ -35,6 +43,7 @@
 #include "common/random.hh"
 #include "sim/simulator.hh"
 #include "common/json.hh"
+#include "sim/campaign.hh"
 #include "sim/sweep.hh"
 #include "verify/diffcheck.hh"
 
@@ -204,15 +213,87 @@ struct RunOutcome
     double handlerSquashes = 0;
 };
 
+/**
+ * Line-based RunOutcome serialization for the isolate-mode result
+ * pipe. desc/why are single-line by construction (snprintf / one-line
+ * diff summaries), so "key=rest-of-line" is unambiguous; the stat
+ * doubles use hexfloat for an exact round trip.
+ */
+std::string
+serializeOutcome(const RunOutcome &out)
+{
+    std::ostringstream os;
+    os << "failed=" << (out.failed ? 1 : 0) << "\ncycles=" << out.cycles
+       << "\nmisses=" << out.misses;
+    char buf[64];
+    auto hexDouble = [&](const char *key, double v) {
+        std::snprintf(buf, sizeof buf, "%a", v);
+        os << "\n" << key << "=" << buf;
+    };
+    hexDouble("hardReverts", out.hardReverts);
+    hexDouble("deadlockSquashes", out.deadlockSquashes);
+    hexDouble("relinks", out.relinks);
+    hexDouble("mtFallbacks", out.mtFallbacks);
+    hexDouble("handlerSquashes", out.handlerSquashes);
+    os << "\ndesc=" << out.desc << "\nwhy=" << out.why << "\n";
+    return os.str();
+}
+
+bool
+parseOutcome(const std::string &text, RunOutcome *out)
+{
+    RunOutcome r;
+    unsigned seen = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return false;
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        ++seen;
+        if (key == "failed")
+            r.failed = value == "1";
+        else if (key == "cycles")
+            r.cycles = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "misses")
+            r.misses = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "hardReverts")
+            r.hardReverts = std::strtod(value.c_str(), nullptr);
+        else if (key == "deadlockSquashes")
+            r.deadlockSquashes = std::strtod(value.c_str(), nullptr);
+        else if (key == "relinks")
+            r.relinks = std::strtod(value.c_str(), nullptr);
+        else if (key == "mtFallbacks")
+            r.mtFallbacks = std::strtod(value.c_str(), nullptr);
+        else if (key == "handlerSquashes")
+            r.handlerSquashes = std::strtod(value.c_str(), nullptr);
+        else if (key == "desc")
+            r.desc = value;
+        else if (key == "why")
+            r.why = value;
+        else
+            --seen;
+    }
+    if (seen < 10)
+        return false;
+    *out = std::move(r);
+    return true;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     uint64_t runs = 200, sweep_seed = 1, base_insts = 8000;
-    uint64_t require_coverage = 1, verbose = 0, jobs = 0;
+    uint64_t require_coverage = 1, verbose = 0, jobs = 0, isolate = 0;
     int64_t only = -1;
-    std::string json_path;
+    std::string json_path, timeout_text;
 
     for (int i = 1; i < argc; ++i) {
         bool ok = false;
@@ -223,7 +304,10 @@ main(int argc, char **argv)
             parseArg(argv[i], "require_coverage", require_coverage, &ok);
         verbose = parseArg(argv[i], "verbose", verbose, &ok);
         jobs = parseArg(argv[i], "jobs", jobs, &ok);
+        isolate = parseArg(argv[i], "isolate", isolate, &ok);
         json_path = parseStrArg(argv[i], "json", json_path, &ok);
+        timeout_text =
+            parseStrArg(argv[i], "timeout", timeout_text, &ok);
         bool only_set = false;
         uint64_t o = parseArg(argv[i], "only", 0, &only_set);
         if (only_set) {
@@ -234,10 +318,24 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: torture [runs=N] [seed=N] [insts=N] "
                          "[only=N] [require_coverage=0|1] [verbose=0|1] "
-                         "[jobs=N] [json=PATH]\n");
+                         "[jobs=N] [json=PATH] [isolate=0|1] "
+                         "[timeout=SECONDS]\n");
             return 2;
         }
     }
+    double timeout_s = 0.0;
+    if (!timeout_text.empty()) {
+        char *end = nullptr;
+        timeout_s = std::strtod(timeout_text.c_str(), &end);
+        if (end == timeout_text.c_str() || *end != '\0' ||
+            !(timeout_s > 0.0)) {
+            std::fprintf(stderr, "bad timeout value '%s'\n",
+                         timeout_text.c_str());
+            return 2;
+        }
+    }
+    // A wall-clock budget is only enforceable on a killable child.
+    const bool isolate_runs = isolate != 0 || timeout_s > 0.0;
 
     Coverage hardReverts, deadlockSquashes, relinks, mtFallbacks,
         handlerSquashes, invariantAudits;
@@ -257,30 +355,80 @@ main(int argc, char **argv)
     runner.parallelFor(outcomes.size(), [&](size_t k) {
         uint64_t i = first + k;
         RunConfig cfg = makeConfig(sweep_seed, i, base_insts);
-        Simulator sim(cfg.params, cfg.workloads);
-        CoreResult result = sim.run();
 
+        auto runOne = [&cfg]() -> RunOutcome {
+            Simulator sim(cfg.params, cfg.workloads);
+            CoreResult result = sim.run();
+
+            RunOutcome out;
+            out.desc = cfg.desc;
+            out.cycles = uint64_t(result.cycles);
+            out.misses = result.tlbMisses;
+            if (!result.ok()) {
+                out.failed = true;
+                out.why = std::string(runStatusName(result.status)) +
+                          ": " + result.error;
+            } else {
+                DiffResult diff = diffAgainstGolden(sim);
+                if (!diff.ok()) {
+                    out.failed = true;
+                    out.why =
+                        "golden-model divergence: " + diff.summary();
+                }
+            }
+            out.hardReverts = coreStat(sim, "hardReverts");
+            out.deadlockSquashes = coreStat(sim, "deadlockSquashes");
+            out.relinks = coreStat(sim, "relinks");
+            out.mtFallbacks = coreStat(sim, "mtFallbacks");
+            out.handlerSquashes =
+                coreStat(sim, "verify.injectedHandlerSquashes");
+            return out;
+        };
+
+        if (!isolate_runs) {
+            outcomes[k] = runOne();
+            return;
+        }
+
+        // Isolated: a crash or hang in this configuration becomes this
+        // run's failure record instead of killing the sweep.
+        ChildResult child = runInForkedChild(
+            [&runOne] { return serializeOutcome(runOne()); }, timeout_s);
         RunOutcome &out = outcomes[k];
         out.desc = cfg.desc;
-        out.cycles = uint64_t(result.cycles);
-        out.misses = result.tlbMisses;
-        if (!result.ok()) {
-            out.failed = true;
-            out.why = std::string(runStatusName(result.status)) + ": " +
-                      result.error;
-        } else {
-            DiffResult diff = diffAgainstGolden(sim);
-            if (!diff.ok()) {
+        auto firstLine = [](const std::string &text) {
+            auto nl = text.find('\n');
+            return nl == std::string::npos ? text : text.substr(0, nl);
+        };
+        switch (child.state) {
+          case ChildResult::State::Ok:
+            if (!parseOutcome(child.payload, &out)) {
                 out.failed = true;
-                out.why = "golden-model divergence: " + diff.summary();
+                out.why = "crashed: child result payload unparseable";
+                out.desc = cfg.desc;
             }
+            break;
+          case ChildResult::State::Exited:
+            out.failed = true;
+            out.why = "crashed: child exited with status " +
+                      std::to_string(child.exitCode) + " (" +
+                      firstLine(child.stderrTail) + ")";
+            break;
+          case ChildResult::State::Signaled:
+            out.failed = true;
+            out.why = "crashed: child killed by signal " +
+                      std::to_string(child.termSignal) + " (" +
+                      firstLine(child.stderrTail) + ")";
+            break;
+          case ChildResult::State::TimedOut:
+            out.failed = true;
+            out.why = "timeout: exceeded wall-clock budget";
+            break;
+          case ChildResult::State::ForkFailed:
+            out.failed = true;
+            out.why = "crashed: could not fork isolated child";
+            break;
         }
-        out.hardReverts = coreStat(sim, "hardReverts");
-        out.deadlockSquashes = coreStat(sim, "deadlockSquashes");
-        out.relinks = coreStat(sim, "relinks");
-        out.mtFallbacks = coreStat(sim, "mtFallbacks");
-        out.handlerSquashes =
-            coreStat(sim, "verify.injectedHandlerSquashes");
     });
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
@@ -338,7 +486,18 @@ main(int argc, char **argv)
            << executed << ",\"seed\":" << sweep_seed
            << ",\"jobs\":" << runner.threads()
            << ",\"wall_seconds\":" << wall
-           << ",\"failures\":" << failures << ",\"coverage\":{"
+           << ",\"failure_count\":" << failures << ",\"failures\":[";
+        bool first_failure = true;
+        for (size_t k = 0; k < outcomes.size(); ++k) {
+            const RunOutcome &out = outcomes[k];
+            if (!out.failed)
+                continue;
+            os << (first_failure ? "" : ",") << "\n  {\"run\":"
+               << first + k << ",\"desc\":\"" << jsonEscape(out.desc)
+               << "\",\"why\":\"" << jsonEscape(out.why) << "\"}";
+            first_failure = false;
+        }
+        os << (first_failure ? "]" : "\n]") << ",\"coverage\":{"
            << "\"hardReverts\":" << hardReverts.total
            << ",\"deadlockSquashes\":" << deadlockSquashes.total
            << ",\"relinks\":" << relinks.total
