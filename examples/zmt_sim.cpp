@@ -53,13 +53,17 @@ main(int argc, char **argv)
             benches.push_back(arg);
         }
     }
-    if (benches.empty()) {
+    // A restore run takes its workloads from the checkpoint file, so
+    // an empty benchmark list is only an error without ffwd.restore.
+    if (benches.empty() && params.ffwd.restore.empty()) {
         std::fprintf(stderr,
                      "usage: %s [--stats] [--csv] [--attrib] "
                      "[--pipeview=FILE] [--events=FILE] "
                      "[--trace=exc,...] [key=value ...] bench...\n"
                      "benchmarks: alphadoom applu compress deltablue gcc "
-                     "hydro2d murphi vortex\n",
+                     "hydro2d murphi vortex\n"
+                     "(bench list may be empty when ffwd.restore=FILE "
+                     "is given)\n",
                      argv[0]);
         return 1;
     }
@@ -67,9 +71,12 @@ main(int argc, char **argv)
     Simulator sim(params, benches);
     CoreResult result = sim.run();
 
+    // Print the resolved workload names (not the raw CLI args) so a
+    // straight run and a checkpoint-restore run of the same region
+    // produce byte-identical output.
     std::printf("# %s on", params.summary().c_str());
-    for (const auto &bench : benches)
-        std::printf(" %s", bench.c_str());
+    for (unsigned i = 0; i < sim.numProcesses(); ++i)
+        std::printf(" %s", sim.workload(i).name.c_str());
     std::printf("\n");
     std::printf("cycles       %llu\n", (unsigned long long)result.cycles);
     std::printf("userInsts    %llu\n",
@@ -86,6 +93,16 @@ main(int argc, char **argv)
                     ? 1000.0 * double(result.measuredMisses) /
                           double(result.measuredInsts)
                     : 0.0);
+    if (result.sampling.enabled()) {
+        const auto &s = result.sampling;
+        std::printf("samples      %llu (%llu cold)\n",
+                    (unsigned long long)s.samples,
+                    (unsigned long long)s.coldSamples);
+        std::printf("ffwdInsts    %llu\n",
+                    (unsigned long long)s.ffwdInsts);
+        std::printf("ipc(sampled) %.3f +/- %.3f\n", s.ipcMean, s.ipcCi95);
+        std::printf("mpk(sampled) %.3f +/- %.3f\n", s.mpkMean, s.mpkCi95);
+    }
 
     if (params.obs.anyEnabled())
         obs::printAttribTable(stdout, result.attrib);

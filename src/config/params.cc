@@ -248,6 +248,15 @@ SimParams::set(const std::string &key, const std::string &value)
         return;
     }
 
+    if (key == "ffwd.insts") { ffwd.insts = u(); return; }
+    if (key == "ffwd.warm") { ffwd.warm = b(); return; }
+    if (key == "ffwd.save") { ffwd.save = value; return; }
+    if (key == "ffwd.restore") { ffwd.restore = value; return; }
+
+    if (key == "sample.period") { sample.periodInsts = u(); return; }
+    if (key == "sample.detail") { sample.detailInsts = u(); return; }
+    if (key == "sample.warmup") { sample.warmupInsts = u(); return; }
+
     if (key == "maxInsts") { maxInsts = u(); return; }
     if (key == "warmupInsts") { warmupInsts = u(); return; }
     if (key == "seed") { seed = u(); return; }
@@ -357,6 +366,18 @@ SimParams::forEachParam(
     fn("obs.events", obs.events);
     b("obs.attrib", obs.attrib);
     u("obs.ringCapacity", obs.ringCapacity);
+
+    // Fast-forward and sampling change which instructions the detailed
+    // core measures, so they are simulation-relevant; ffwd.save is a
+    // pure output path, but the exhaustive-list contract keeps it here
+    // (experiment.cc clears it on the baseline copy, like obs).
+    u("ffwd.insts", ffwd.insts);
+    b("ffwd.warm", ffwd.warm);
+    fn("ffwd.save", ffwd.save);
+    fn("ffwd.restore", ffwd.restore);
+    u("sample.period", sample.periodInsts);
+    u("sample.detail", sample.detailInsts);
+    u("sample.warmup", sample.warmupInsts);
 
     u("maxInsts", maxInsts);
     u("warmupInsts", warmupInsts);

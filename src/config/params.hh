@@ -272,6 +272,64 @@ struct ObsParams
     }
 };
 
+/**
+ * Fast-forward / checkpoint parameters (src/kernel/ffwd.hh,
+ * src/sim/checkpoint.hh). Fast-forward executes the first part of the
+ * run on the functional machine (orders of magnitude faster than
+ * detailed simulation) and hands the detailed core a mid-execution
+ * architectural state — the paper's runs start from mid-execution
+ * checkpoints for exactly this reason.
+ */
+struct FfwdParams
+{
+    /**
+     * Functionally execute this many instructions (total, split evenly
+     * across the mix like maxInsts) before detailed simulation. The
+     * detailed core then retires maxInsts from that point.
+     */
+    uint64_t insts = 0;
+
+    /**
+     * Record warm state during fast-forward (touched TLB pages and
+     * cache lines) and install it before detailed simulation starts,
+     * so the measured window does not begin with an artificially cold
+     * hierarchy.
+     */
+    bool warm = true;
+
+    /** After fast-forward, write a checkpoint to this path ("" = off). */
+    std::string save;
+
+    /**
+     * Build the system from this checkpoint instead of loading
+     * workloads ("" = off). Mutually exclusive with insts/save.
+     */
+    std::string restore;
+
+    bool enabled() const { return insts > 0 || !restore.empty(); }
+};
+
+/**
+ * SMARTS-style sampled simulation: alternate functional fast-forward
+ * with short detailed measurement intervals and aggregate the interval
+ * statistics with confidence bounds (CoreResult::sampling).
+ */
+struct SampleParams
+{
+    /** Instructions from the start of one sample to the start of the
+     *  next (total across the mix); 0 disables sampling. */
+    uint64_t periodInsts = 0;
+
+    /** Measured (detailed) instructions per sample. */
+    uint64_t detailInsts = 10000;
+
+    /** Detailed warm-up instructions before each measured interval
+     *  (on top of the functional warm-state install). */
+    uint64_t warmupInsts = 2000;
+
+    bool enabled() const { return periodInsts > 0; }
+};
+
 /** Top-level simulation parameters. */
 struct SimParams
 {
@@ -282,6 +340,8 @@ struct SimParams
     ExceptParams except;
     VerifyParams verify;
     ObsParams obs;
+    FfwdParams ffwd;
+    SampleParams sample;
 
     /** Stop after this many retired user-mode instructions (total). */
     uint64_t maxInsts = 1'000'000;

@@ -108,7 +108,11 @@ SmtCore::SmtCore(const SimParams &params, std::vector<Process *> apps,
             ctx->cstate = CtxState::App;
             ctx->arch = apps[i]->initialState();
             ctx->fetchEnabled = true;
-            ctx->fetchPc = apps[i]->entry();
+            // Fetch starts at the process's architectural PC, which is
+            // the entry point for a fresh process and the resume point
+            // for one restored from a checkpoint or fast-forwarded
+            // functionally (kernel/ffwd.hh).
+            ctx->fetchPc = ctx->arch.pc;
         } else {
             ctx->cstate = CtxState::Idle;
             ctx->fetchEnabled = false;
@@ -495,6 +499,16 @@ SmtCore::run()
         result.userInsts = totalRetiredUser();
         result.tlbMisses = uint64_t(tlbMisses.value());
         result.emulations = uint64_t(emulDone.value());
+        result.warmedUp = warm;
+        if (!warm) {
+            // The run ended before every app thread retired its
+            // warm-up share, so warmup_cycles/warmup_misses were never
+            // latched. The old arithmetic would charge the whole run's
+            // cycles against a warm-up-free instruction count, skewing
+            // IPC and miss rate; report an explicitly empty
+            // measurement window instead.
+            return result;
+        }
         result.measuredCycles = curCycle - warmup_cycles;
         result.measuredInsts =
             result.userInsts -

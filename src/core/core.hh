@@ -80,6 +80,36 @@ struct CoreResult
     uint64_t measuredInsts = 0;
     uint64_t measuredMisses = 0;
 
+    /**
+     * Whether the run actually completed its warm-up window. When a
+     * run ends (livelock, invariant violation, or a warmupInsts that
+     * exceeds the retirement budget) before every app thread retires
+     * its warm-up share, measurement never began: the measured_*
+     * fields and ipc are zero rather than silently spanning the whole
+     * run with a warm-up-skewed denominator.
+     */
+    bool warmedUp = true;
+
+    /**
+     * Sampled-simulation summary (sim/checkpoint.hh driver). All zero
+     * for conventional runs; samples > 0 marks a sampled result, whose
+     * cycles/measured_* totals are sums over the detailed probe
+     * intervals and whose ipc is the sample mean.
+     */
+    struct SampleStats
+    {
+        uint64_t samples = 0;     //!< detailed intervals measured
+        uint64_t ffwdInsts = 0;   //!< functionally fast-forwarded insts
+        uint64_t coldSamples = 0; //!< probes whose warm-up never finished
+        double ipcMean = 0.0;
+        double ipcCi95 = 0.0;     //!< 95% confidence half-width
+        double mpkMean = 0.0;     //!< misses per kilo-instruction
+        double mpkCi95 = 0.0;
+
+        bool enabled() const { return samples > 0; }
+    };
+    SampleStats sampling;
+
     /** Per-category penalty attribution (all-zero unless obs.attrib
      *  or an event export was enabled for the run). */
     obs::AttribSummary attrib;
@@ -125,6 +155,7 @@ class SmtCore : public stats::StatGroup
     uint64_t retiredStoreHash(unsigned app) const;
 
     const Tlb &dtlb() const { return *tlb; }
+    Tlb &dtlb() { return *tlb; }
     MemHierarchy &memory() { return *hier; }
 
     /** The DynInst slab pool (exposed for the pool-stress tests). */

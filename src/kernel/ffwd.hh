@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Functional fast-forward engine: a superblock translation cache that
+ * accelerates FuncMachine, plus the warm-state trace that records what
+ * a fast-forwarded program would have left resident in the TLB and the
+ * cache hierarchy.
+ *
+ * The translation cache is seeded from the decode memo (isa
+ * DecodeCache, PR 5): discovery decodes each word once through the
+ * memo, and the decoded bodies are then memoized per superblock so
+ * steady-state execution never decodes at all. Superblocks are
+ * straight-line runs ending at the first control transfer (included),
+ * stopping *before* anything the interpreter must vet per-instruction
+ * (HALT, privileged ops, invalid words). A one-entry chain memo on
+ * each block short-circuits the successor lookup for the common
+ * repeated-trace case.
+ *
+ * The warm trace is purely observational: it never changes execution
+ * results. It keeps bounded MRU sets of touched (asn, vpn) pages and
+ * 32-byte line grains; exporting oldest-first lets warmInstall /
+ * warmInsert replay reconstruct the LRU order a real run would have.
+ */
+
+#ifndef ZMT_KERNEL_FFWD_HH
+#define ZMT_KERNEL_FFWD_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/decodecache.hh"
+#include "kernel/process.hh"
+
+namespace zmt
+{
+
+/** One TLB-resident translation recorded by the warm trace. */
+struct WarmPage
+{
+    Asn asn = 0;
+    Addr vpn = 0;
+};
+
+/** One cache-resident line grain recorded by the warm trace. */
+struct WarmLine
+{
+    Addr grain = 0; //!< physical address / WarmGrainBytes
+    bool data = false;  //!< install into the D-side (dcache + L2)
+    bool fetch = false; //!< install into the I-side (icache + L2)
+    bool dirty = false; //!< stored to (D-side lines only)
+};
+
+/**
+ * Warm-trace granularity: the smallest line size in the hierarchy, so
+ * one grain never spans two L1 lines. Coarser caches simply see
+ * several grains land in the same line.
+ */
+constexpr unsigned WarmGrainBytes = 32;
+
+/**
+ * Bounded MRU record of the pages and lines a functional run touched.
+ * Attach to a FuncMachine (attachWarmTrace) during fast-forward; the
+ * export order (oldest touch first) is the replay order.
+ */
+class WarmTrace
+{
+  public:
+    /**
+     * @param max_pages  TLB pages retained (0 disables page tracking)
+     * @param max_lines  line grains retained (0 disables line tracking)
+     */
+    WarmTrace(size_t max_pages, size_t max_lines)
+        : maxPages(max_pages), maxLines(max_lines)
+    {}
+
+    /**
+     * Record one data access: the page translation, the PTE line the
+     * miss handler would have loaded, and the data line itself.
+     */
+    void
+    touchData(Asn asn, Addr va, Addr pte_pa, Addr pa, bool dirty)
+    {
+        touchPage(asn, pageNum(va));
+        touchLine(pte_pa, /*data=*/true, /*fetch=*/false, /*dirty=*/false);
+        touchLine(pa, /*data=*/true, /*fetch=*/false, dirty);
+    }
+
+    /** Record one instruction-fetch grain (already a physical grain PA). */
+    void
+    touchFetch(Addr grain_pa)
+    {
+        touchLine(grain_pa, /*data=*/false, /*fetch=*/true, /*dirty=*/false);
+    }
+
+    /** Append the recorded state, oldest touch first. */
+    void exportState(std::vector<WarmPage> &pages,
+                     std::vector<WarmLine> &lines) const;
+
+    size_t pageCount() const { return pageOrder.size(); }
+    size_t lineCount() const { return lineOrder.size(); }
+
+    void
+    clear()
+    {
+        pageOrder.clear();
+        pageIndex.clear();
+        lineOrder.clear();
+        lineIndex.clear();
+    }
+
+  private:
+    void touchPage(Asn asn, Addr vpn);
+    void touchLine(Addr pa, bool data, bool fetch, bool dirty);
+
+    size_t maxPages;
+    size_t maxLines;
+
+    // MRU lists (front = oldest) with O(1) membership via iterator maps.
+    std::list<WarmPage> pageOrder;
+    std::unordered_map<uint64_t, std::list<WarmPage>::iterator> pageIndex;
+    std::list<WarmLine> lineOrder;
+    std::unordered_map<Addr, std::list<WarmLine>::iterator> lineIndex;
+};
+
+/**
+ * A discovered straight-line block: the decoded body, the text grains
+ * it occupies (for I-side warm tracking), and a one-entry chain memo
+ * to the most recent successor block.
+ */
+struct Superblock
+{
+    Addr pc = 0;
+    std::vector<isa::DecodedInst> body;
+    std::vector<Addr> fetchGrains; //!< physical grain PAs covering the text
+
+    Addr chainPc = 0;              //!< successor PC the memo is valid for
+    Superblock *chainTo = nullptr; //!< memoized successor (never stale:
+                                   //!< blocks are immortal once built)
+};
+
+/**
+ * The superblock translation cache. Keyed on (asn, pc) so one cache
+ * can serve every process in a mix. Blocks live for the lifetime of
+ * the cache (simulated text is immutable), which is what makes the
+ * chain memo safe.
+ */
+class SuperblockCache
+{
+  public:
+    /** Longest block the builder will form. */
+    static constexpr unsigned MaxBlockInsts = 64;
+
+    /**
+     * Find (building on demand) the block starting at @p pc. The
+     * returned block may have an empty body when the first instruction
+     * is one the interpreter must handle itself (HALT, privileged,
+     * invalid) — callers fall back to FuncMachine::step().
+     */
+    Superblock *lookup(Process &proc, const PhysMem &mem, Addr pc);
+
+    size_t blockCount() const { return blocks.size(); }
+
+  private:
+    Superblock *build(Process &proc, const PhysMem &mem, Addr pc);
+
+    static uint64_t
+    key(Asn asn, Addr pc)
+    {
+        return (uint64_t(asn) << 48) ^ pc;
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<Superblock>> blocks;
+    isa::DecodeCache decoder;
+};
+
+} // namespace zmt
+
+#endif // ZMT_KERNEL_FFWD_HH

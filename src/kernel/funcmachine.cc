@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "kernel/ffwd.hh"
 
 namespace zmt
 {
@@ -88,7 +89,12 @@ FuncMachine::readMem(Addr addr, unsigned size)
     // Loads of unmapped user addresses return zero; only wild
     // wrong-path accesses hit this in the timing model, and correct
     // workloads never do functionally.
-    return pa ? mem.read(*pa, size) : 0;
+    if (!pa)
+        return 0;
+    if (warmTrace) [[unlikely]]
+        warmTrace->touchData(proc.asn(), addr, proc.space().pteAddr(addr),
+                             *pa, false);
+    return mem.read(*pa, size);
 }
 
 void
@@ -100,6 +106,9 @@ FuncMachine::writeMem(Addr addr, unsigned size, uint64_t value)
     }
     auto pa = proc.space().translate(addr);
     panic_if(!pa, "functional store to unmapped VA %#lx", addr);
+    if (warmTrace) [[unlikely]]
+        warmTrace->touchData(proc.asn(), addr, proc.space().pteAddr(addr),
+                             *pa, true);
     mem.write(*pa, size, value);
     static const bool store_trace =
         std::getenv("ZMT_STORE_TRACE") != nullptr;

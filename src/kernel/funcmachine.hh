@@ -17,6 +17,9 @@
 namespace zmt
 {
 
+class SuperblockCache;
+class WarmTrace;
+
 /** Snapshot of the architecturally visible result of a run. */
 struct ArchResult
 {
@@ -56,10 +59,33 @@ class FuncMachine : public ExecContext
     /** Execute a single instruction. @return false once halted. */
     bool step();
 
+    /**
+     * Fast-forward up to @p max_insts instructions through the
+     * superblock translation cache (kernel/ffwd.hh): straight-line
+     * blocks are discovered once, their decoded bodies memoized, and
+     * execution runs block-at-a-time instead of fetch/decode/dispatch
+     * per instruction. Stops at a precise instruction boundary (the
+     * block tail falls back to step()) so the final state is exactly
+     * what max_insts calls to step() would produce — the
+     * checkpoint-precision requirement. Implemented in ffwd.cc.
+     *
+     * @return instructions actually executed (less than max_insts only
+     *         when the program halts)
+     */
+    uint64_t runFast(uint64_t max_insts, SuperblockCache &blocks);
+
+    /**
+     * Record warm-state touches (TLB pages, cache lines) into @p trace
+     * during subsequent execution; null detaches. Purely observational
+     * — execution results are bit-identical with or without it.
+     */
+    void attachWarmTrace(WarmTrace *trace) { warmTrace = trace; }
+
     const ArchState &state() const { return archState; }
     ArchState &state() { return archState; }
     bool halted() const { return isHalted; }
     uint64_t executed() const { return result.instsExecuted; }
+    uint64_t storeHash() const { return result.storeHash; }
 
     // ExecContext interface ------------------------------------------
     uint64_t readIntReg(unsigned reg) override;
@@ -77,6 +103,8 @@ class FuncMachine : public ExecContext
     void raiseHardException() override;
     void halt() override;
 
+    Process &process() { return proc; }
+
   private:
     Process &proc;
     PhysMem &mem;
@@ -84,6 +112,7 @@ class FuncMachine : public ExecContext
     ArchResult result;
     Addr nextPc = 0;
     bool isHalted = false;
+    WarmTrace *warmTrace = nullptr;
 };
 
 } // namespace zmt

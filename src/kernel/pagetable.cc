@@ -19,6 +19,14 @@ AddressSpace::AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
     // PhysMem zero-fills lazily, so all PTEs start invalid.
 }
 
+AddressSpace::AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
+                           Addr va_limit, Addr ptbr, size_t mapped_pages)
+    : _asn(asn), mem(mem), frames(frames), _vaLimit(va_limit),
+      _ptbr(ptbr), _mappedPages(mapped_pages)
+{
+    fatal_if(va_limit == 0, "empty address space");
+}
+
 void
 AddressSpace::mapPage(Addr va)
 {

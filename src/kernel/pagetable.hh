@@ -49,6 +49,9 @@ class FrameAllocator
 
     Addr allocated() const { return nextPa; }
 
+    /** Checkpoint restore: resume allocation at @p pa. */
+    void reset(Addr pa) { nextPa = pa; }
+
   private:
     Addr nextPa;
 };
@@ -78,6 +81,14 @@ class AddressSpace
      */
     AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
                  Addr va_limit);
+
+    /**
+     * Checkpoint restore: adopt an existing linear page table already
+     * resident in @p mem at @p ptbr (no allocation, no re-mapping; the
+     * PTEs and their frames were imported with the physical pages).
+     */
+    AddressSpace(Asn asn, PhysMem &mem, FrameAllocator &frames,
+                 Addr va_limit, Addr ptbr, size_t mapped_pages);
 
     Asn asn() const { return _asn; }
 

@@ -1,7 +1,9 @@
 #include "kernel/physmem.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -78,6 +80,29 @@ PhysMem::write(Addr pa, unsigned size, uint64_t value)
         Addr byte_pa = pa + i;
         pageFor(byte_pa)[byte_pa & PageMask] = uint8_t(value >> (8 * i));
     }
+}
+
+void
+PhysMem::forEachPage(
+    const std::function<void(Addr, const uint8_t *)> &fn) const
+{
+    std::vector<Addr> ppns;
+    ppns.reserve(pages.size());
+    for (const auto &[ppn, page] : pages)
+        ppns.push_back(ppn);
+    std::sort(ppns.begin(), ppns.end());
+    for (Addr ppn : ppns)
+        fn(ppn, pages.at(ppn).get());
+}
+
+void
+PhysMem::importPage(Addr ppn, const uint8_t *data, size_t len)
+{
+    panic_if(len > PageBytes, "importPage: %zu bytes > page size", len);
+    uint8_t *page = pageFor(ppn << PageBits);
+    if (len > 0)
+        std::memcpy(page, data, len);
+    std::memset(page + len, 0, PageBytes - len);
 }
 
 } // namespace zmt

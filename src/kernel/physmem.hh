@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -47,6 +48,21 @@ class PhysMem
 
     /** Number of backing pages materialized so far. */
     size_t pagesAllocated() const { return pages.size(); }
+
+    /**
+     * Visit every materialized page in ascending page-number order
+     * (deterministic, for checkpoint serialization). @p fn receives
+     * the page number and a pointer to its PageBytes of data.
+     */
+    void forEachPage(
+        const std::function<void(Addr, const uint8_t *)> &fn) const;
+
+    /**
+     * Materialize a page and fill its first @p len bytes from
+     * @p data, zeroing the rest (checkpoint restore; trailing zeros
+     * are trimmed on save).
+     */
+    void importPage(Addr ppn, const uint8_t *data, size_t len);
 
   private:
     uint8_t *pageFor(Addr pa);

@@ -39,9 +39,21 @@ Process::Process(const ProcessImage &image, Asn asn, PhysMem &mem,
     }
 }
 
+Process::Process(const ProcessRestore &restore, PhysMem &mem,
+                 FrameAllocator &frames)
+    : _entry(restore.entry)
+{
+    _space = std::make_unique<AddressSpace>(
+        restore.asn, mem, frames, restore.vaLimit, restore.ptbr,
+        size_t(restore.mappedPages));
+    setResumeState(restore.resume);
+}
+
 ArchState
 Process::initialState() const
 {
+    if (resumeValid)
+        return resumeState;
     ArchState state;
     state.intRegs = initInt;
     state.fpRegs = initFp;
@@ -50,6 +62,16 @@ Process::initialState() const
     state.writePriv(isa::PrivReg::Ptbr, _space->ptbr());
     state.writePriv(isa::PrivReg::FaultAsn, asn());
     return state;
+}
+
+void
+Process::setResumeState(const ArchState &state)
+{
+    panic_if(state.palMode,
+             "resume state captured inside a PAL handler (functional "
+             "execution never enters PAL mode)");
+    resumeState = state;
+    resumeValid = true;
 }
 
 isa::InstWord

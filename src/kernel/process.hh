@@ -39,6 +39,23 @@ struct ProcessImage
     std::array<uint64_t, isa::NumFpRegs> initFpRegs{};
 };
 
+/**
+ * Everything the loader would have produced, recovered from a
+ * checkpoint instead: the address space's page table and all mapped
+ * frames are already resident in physical memory (imported page by
+ * page), and the architectural state is the precise
+ * instruction-boundary state at which execution resumes.
+ */
+struct ProcessRestore
+{
+    Asn asn = 0;
+    Addr ptbr = 0;
+    Addr vaLimit = 0;
+    uint64_t mappedPages = 0;
+    Addr entry = 0;
+    ArchState resume;
+};
+
 /** A loaded process: address space + initial architectural state. */
 class Process
 {
@@ -50,6 +67,10 @@ class Process
     Process(const ProcessImage &image, Asn asn, PhysMem &mem,
             FrameAllocator &frames);
 
+    /** Re-adopt a checkpointed process (see ProcessRestore). */
+    Process(const ProcessRestore &restore, PhysMem &mem,
+            FrameAllocator &frames);
+
     Process(const Process &) = delete;
     Process &operator=(const Process &) = delete;
 
@@ -58,8 +79,24 @@ class Process
     Asn asn() const { return _space->asn(); }
     Addr entry() const { return _entry; }
 
-    /** Initial architectural state (pc at entry, registers preset). */
+    /**
+     * The architectural state execution starts from: pc at entry with
+     * registers preset for a freshly loaded process, or the precise
+     * resume state set by functional fast-forward / checkpoint
+     * restore.
+     */
     ArchState initialState() const;
+
+    /**
+     * Pin the state a subsequently constructed core (or functional
+     * machine) resumes from — the fast-forward engine calls this after
+     * advancing the process functionally, and checkpoint capture reads
+     * it back via initialState().
+     */
+    void setResumeState(const ArchState &state);
+
+    /** Whether this process resumes mid-execution. */
+    bool hasResumeState() const { return resumeValid; }
 
     /**
      * Fetch one instruction word at a virtual PC (perfect ITLB: the
@@ -72,8 +109,10 @@ class Process
   private:
     std::unique_ptr<AddressSpace> _space;
     Addr _entry;
-    std::array<uint64_t, isa::NumIntRegs> initInt;
-    std::array<uint64_t, isa::NumFpRegs> initFp;
+    std::array<uint64_t, isa::NumIntRegs> initInt{};
+    std::array<uint64_t, isa::NumFpRegs> initFp{};
+    ArchState resumeState;
+    bool resumeValid = false;
 };
 
 } // namespace zmt

@@ -57,6 +57,33 @@ Cache::flush()
     outstanding.clear();
 }
 
+void
+Cache::warmInstall(Addr pa, bool dirty)
+{
+    Addr block = blockAddr(pa);
+    size_t set = setIndex(block);
+    ++useCounter;
+
+    Line *victim = &lines[set * assoc];
+    for (unsigned way = 0; way < assoc; ++way) {
+        Line &line = lines[set * assoc + way];
+        if (line.valid && line.tag == block) {
+            line.lastUse = useCounter;
+            line.dirty = line.dirty || dirty;
+            return;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->dirty = dirty;
+    victim->lastUse = useCounter;
+}
+
 Cycle
 Cache::access(Addr pa, bool is_write, Cycle now)
 {

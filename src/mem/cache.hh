@@ -54,6 +54,14 @@ class Cache : public stats::StatGroup
     /** Probe without side effects: would this access hit right now? */
     bool wouldHit(Addr pa) const;
 
+    /**
+     * Checkpoint-restore install: make the block containing pa resident
+     * as if it had been long resident — no stats, no writeback traffic,
+     * no bus occupancy. Evicted victims vanish silently. Replay these
+     * oldest-first so LRU order matches the recorded access order.
+     */
+    void warmInstall(Addr pa, bool dirty);
+
     /** Invalidate everything (used by tests). */
     void flush();
 

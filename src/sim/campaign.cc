@@ -21,6 +21,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/fieldcodec.hh"
 #include "common/hash.hh"
 #include "common/json.hh"
 #include "common/jsonparse.hh"
@@ -139,134 +140,7 @@ sweepJobKey(const SweepJob &job)
 namespace
 {
 
-/** Percent-encode so any string becomes one whitespace-free token. */
-std::string
-encodeField(const std::string &s)
-{
-    static const char hexDigits[] = "0123456789abcdef";
-    std::string out;
-    out.reserve(s.size() + 1);
-    for (unsigned char c : s) {
-        if (c > ' ' && c != '%' && c != 0x7f) {
-            out += char(c);
-        } else {
-            out += '%';
-            out += hexDigits[c >> 4];
-            out += hexDigits[c & 0xf];
-        }
-    }
-    // An empty value still needs a token body ("k=" parses fine, but
-    // being explicit costs nothing and reads better in journals).
-    return out;
-}
-
-int
-hexNibble(char c)
-{
-    if (c >= '0' && c <= '9')
-        return c - '0';
-    if (c >= 'a' && c <= 'f')
-        return c - 'a' + 10;
-    if (c >= 'A' && c <= 'F')
-        return c - 'A' + 10;
-    return -1;
-}
-
-bool
-decodeField(const std::string &s, std::string *out)
-{
-    std::string result;
-    result.reserve(s.size());
-    for (size_t i = 0; i < s.size(); ++i) {
-        if (s[i] != '%') {
-            result += s[i];
-            continue;
-        }
-        if (i + 2 >= s.size())
-            return false;
-        int hi = hexNibble(s[i + 1]);
-        int lo = hexNibble(s[i + 2]);
-        if (hi < 0 || lo < 0)
-            return false;
-        result += char(hi << 4 | lo);
-        i += 2;
-    }
-    *out = std::move(result);
-    return true;
-}
-
-/** Bit-exact double round trip (hexfloat both ways). */
-std::string
-fmtDouble(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
-}
-
-using TokenMap = std::map<std::string, std::string>;
-
-bool
-splitTokens(const std::string &text, TokenMap *kv)
-{
-    size_t i = 0;
-    while (i < text.size()) {
-        size_t space = text.find(' ', i);
-        size_t end = space == std::string::npos ? text.size() : space;
-        if (end > i) {
-            size_t eq = text.find('=', i);
-            if (eq == std::string::npos || eq >= end)
-                return false;
-            (*kv)[text.substr(i, eq - i)] =
-                text.substr(eq + 1, end - eq - 1);
-        }
-        i = end + 1;
-    }
-    return true;
-}
-
-bool
-getU64(const TokenMap &kv, const std::string &key, uint64_t *out)
-{
-    auto it = kv.find(key);
-    if (it == kv.end())
-        return false;
-    char *end = nullptr;
-    *out = std::strtoull(it->second.c_str(), &end, 10);
-    return end != it->second.c_str() && *end == '\0';
-}
-
-bool
-getInt(const TokenMap &kv, const std::string &key, int *out)
-{
-    auto it = kv.find(key);
-    if (it == kv.end())
-        return false;
-    char *end = nullptr;
-    long v = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0')
-        return false;
-    *out = int(v);
-    return true;
-}
-
-bool
-getDouble(const TokenMap &kv, const std::string &key, double *out)
-{
-    auto it = kv.find(key);
-    if (it == kv.end())
-        return false;
-    char *end = nullptr;
-    *out = std::strtod(it->second.c_str(), &end);
-    return end != it->second.c_str() && *end == '\0';
-}
-
-bool
-getString(const TokenMap &kv, const std::string &key, std::string *out)
-{
-    auto it = kv.find(key);
-    return it != kv.end() && decodeField(it->second, out);
-}
+using namespace fieldcodec;
 
 void
 serializeCoreResult(std::ostringstream &os, const char *prefix,
@@ -282,6 +156,14 @@ serializeCoreResult(std::ostringstream &os, const char *prefix,
        << prefix << ".mcycles=" << uint64_t(r.measuredCycles) << ' '
        << prefix << ".minsts=" << r.measuredInsts << ' '
        << prefix << ".mmisses=" << r.measuredMisses << ' '
+       << prefix << ".warm=" << (r.warmedUp ? 1 : 0) << ' '
+       << prefix << ".samples=" << r.sampling.samples << ' '
+       << prefix << ".sffwd=" << r.sampling.ffwdInsts << ' '
+       << prefix << ".scold=" << r.sampling.coldSamples << ' '
+       << prefix << ".sipc=" << fmtDouble(r.sampling.ipcMean) << ' '
+       << prefix << ".sipcci=" << fmtDouble(r.sampling.ipcCi95) << ' '
+       << prefix << ".smpk=" << fmtDouble(r.sampling.mpkMean) << ' '
+       << prefix << ".smpkci=" << fmtDouble(r.sampling.mpkCi95) << ' '
        << prefix << ".attrib=" << r.attrib.completed << ','
        << r.attrib.aborted << ',' << r.attrib.spanCycles;
     for (uint64_t c : r.attrib.cycles)
@@ -307,6 +189,17 @@ parseCoreResult(const TokenMap &kv, const std::string &prefix,
         !getU64(kv, prefix + ".minsts", &r->measuredInsts) ||
         !getU64(kv, prefix + ".mmisses", &r->measuredMisses))
         return false;
+    uint64_t warm = 0;
+    if (!getU64(kv, prefix + ".warm", &warm) ||
+        !getU64(kv, prefix + ".samples", &r->sampling.samples) ||
+        !getU64(kv, prefix + ".sffwd", &r->sampling.ffwdInsts) ||
+        !getU64(kv, prefix + ".scold", &r->sampling.coldSamples) ||
+        !getDouble(kv, prefix + ".sipc", &r->sampling.ipcMean) ||
+        !getDouble(kv, prefix + ".sipcci", &r->sampling.ipcCi95) ||
+        !getDouble(kv, prefix + ".smpk", &r->sampling.mpkMean) ||
+        !getDouble(kv, prefix + ".smpkci", &r->sampling.mpkCi95))
+        return false;
+    r->warmedUp = warm != 0;
     r->cycles = cycles;
     r->measuredCycles = mcycles;
 

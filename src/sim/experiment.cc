@@ -83,8 +83,11 @@ measureWith(const SimParams &params, const Workloads &workloads,
     perfect.except.mech = ExceptMech::PerfectTlb;
     // Observability exports belong to the measured run only: a cached
     // baseline must neither clobber the caller's trace files nor get a
-    // baseline-cache key polluted by export paths.
+    // baseline-cache key polluted by export paths. Likewise the
+    // checkpoint output: the baseline fast-forwards the same region
+    // (ffwd.insts / restore stay) but must not re-write the file.
     perfect.obs = {};
+    perfect.ffwd.save.clear();
 
     PenaltyResult result;
     if (!skip_baseline) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/core.hh"
+#include "sim/checkpoint.hh"
 #include "wload/workload.hh"
 
 namespace zmt
@@ -25,7 +26,12 @@ class Simulator
   public:
     /**
      * Build the system: PAL image in physical memory, one process per
-     * workload, and the configured core.
+     * workload, and the configured core. When params.ffwd.insts > 0
+     * the processes are first fast-forwarded functionally (warm state
+     * recorded and installed per ffwd.warm); when ffwd.save is set a
+     * checkpoint is written at the fast-forward boundary; when
+     * ffwd.restore is set the system is rebuilt from that checkpoint
+     * instead and @p workloads must be empty.
      */
     Simulator(const SimParams &params,
               const std::vector<WorkloadParams> &workloads);
@@ -34,15 +40,29 @@ class Simulator
     Simulator(const SimParams &params,
               const std::vector<std::string> &benchmarks);
 
+    /** Build directly from an in-memory checkpoint (the sampling
+     *  driver's per-sample probe path). */
+    Simulator(const SimParams &params, const CheckpointData &checkpoint);
+
     ~Simulator();
 
     /**
      * Run to completion (params.maxInsts retired user instructions).
      * If observability exports were requested (ObsParams::pipeview /
      * events), the Konata and Chrome-trace files are written after the
-     * core stops.
+     * core stops. When params.sample is enabled, runs the SMARTS-style
+     * sampling loop instead: alternate functional fast-forward with
+     * detailed probe intervals and aggregate into
+     * CoreResult::sampling.
      */
     CoreResult run();
+
+    /** Snapshot the current resume state of every process plus memory,
+     *  page tables and warm state (save/restore + the sampling probe). */
+    CheckpointData captureCheckpoint() const;
+
+    /** Total instructions functionally fast-forwarded so far. */
+    uint64_t ffwdExecuted() const { return ffwdDone; }
 
     SmtCore &core() { return *_core; }
     const SmtCore &core() const { return *_core; }
@@ -64,6 +84,19 @@ class Simulator
   private:
     void build(const SimParams &params,
                const std::vector<WorkloadParams> &workloads);
+    void buildFromCheckpoint(const SimParams &params,
+                             const CheckpointData &checkpoint);
+
+    /** Shared build tail: core construction, warm-state install,
+     *  crash-flush hook. */
+    void finishBuild(const SimParams &params);
+
+    /** Build-time functional fast-forward (ffwd.insts / ffwd.save). */
+    void fastForward(const SimParams &params);
+
+    /** The SMARTS sampling loop (run() dispatches here when
+     *  sample.periodInsts > 0). */
+    CoreResult runSampled();
 
     void writeObsExports() const;
 
@@ -74,6 +107,7 @@ class Simulator
     uint64_t crashHookId = 0; //!< common/logging.hh flush hook handle
 
     stats::StatGroup root{"sim"};
+    SimParams simParams; //!< full configuration, captured at build
     ObsParams obsParams; //!< export destinations, captured at build
     PhysMem physMem;
     FrameAllocator frames;
@@ -81,6 +115,20 @@ class Simulator
     std::vector<WorkloadParams> wloads;
     std::vector<std::unique_ptr<Process>> procs;
     std::unique_ptr<SmtCore> _core;
+
+    // Fast-forward machinery (kernel/ffwd.hh). The translation cache
+    // and warm trace persist across sampling intervals so discovered
+    // superblocks are reused and warm state reflects recent history.
+    std::unique_ptr<SuperblockCache> sbCache;
+    std::unique_ptr<WarmTrace> wtrace;
+    uint64_t ffwdDone = 0;
+    std::vector<uint64_t> procFfwd;      //!< per-process ffwd counts
+    std::vector<uint64_t> procStoreHash; //!< store hash at the boundary
+    std::vector<bool> procHalted;
+
+    /** Warm state pending install / capture (oldest-first). */
+    std::vector<WarmPage> warmPages;
+    std::vector<WarmLine> warmLines;
 };
 
 /**

@@ -129,7 +129,15 @@ emitCoreResult(std::ostream &os, const CoreResult &r)
        << ",\"measured_cycles\":" << r.measuredCycles
        << ",\"measured_insts\":" << r.measuredInsts
        << ",\"measured_misses\":" << r.measuredMisses
-       << ",\"ipc\":" << jsonNumber(r.ipc);
+       << ",\"ipc\":" << jsonNumber(r.ipc)
+       << ",\"warmed_up\":" << (r.warmedUp ? "true" : "false")
+       << ",\"sampling\":{\"samples\":" << r.sampling.samples
+       << ",\"ffwd_insts\":" << r.sampling.ffwdInsts
+       << ",\"cold_samples\":" << r.sampling.coldSamples
+       << ",\"ipc_mean\":" << jsonNumber(r.sampling.ipcMean)
+       << ",\"ipc_ci95\":" << jsonNumber(r.sampling.ipcCi95)
+       << ",\"mpk_mean\":" << jsonNumber(r.sampling.mpkMean)
+       << ",\"mpk_ci95\":" << jsonNumber(r.sampling.mpkCi95) << "}";
     // Per-exception penalty attribution (all zero unless the run had
     // obs.attrib / an export enabled — the counters live in the
     // ExcTimeline sink).

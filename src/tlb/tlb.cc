@@ -70,6 +70,30 @@ Tlb::insert(Asn asn, Addr va)
 }
 
 void
+Tlb::warmInsert(Asn asn, Addr va)
+{
+    Addr vpn = pageNum(va);
+    ++useCounter;
+
+    Entry *victim = &entries[0];
+    for (auto &entry : entries) {
+        if (entry.valid && entry.asn == asn && entry.vpn == vpn) {
+            entry.lastUse = useCounter;
+            return;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+    victim->valid = true;
+    victim->asn = asn;
+    victim->vpn = vpn;
+    victim->lastUse = useCounter;
+}
+
+void
 Tlb::flushAll()
 {
     for (auto &entry : entries)

@@ -36,6 +36,13 @@ class Tlb : public stats::StatGroup
     /** Install a translation (evicts LRU if full). */
     void insert(Asn asn, Addr va);
 
+    /**
+     * Checkpoint-restore install: like insert() but with no fill or
+     * eviction stats — the entry looks long resident. Replay
+     * oldest-first so LRU order matches the recorded access order.
+     */
+    void warmInsert(Asn asn, Addr va);
+
     /** Drop everything. */
     void flushAll();
 

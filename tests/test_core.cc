@@ -414,6 +414,24 @@ TEST(Core, WarmupWindowAccounting)
     EXPECT_LE(result.measuredInsts, 20100u);
     EXPECT_LT(result.measuredCycles, result.cycles);
     EXPECT_LE(result.measuredMisses, result.tlbMisses);
+    EXPECT_TRUE(result.warmedUp);
+}
+
+TEST(Core, WarmupNeverFinishedReportsNoWindow)
+{
+    // warmupInsts beyond the retirement budget: measurement never
+    // starts. The run is still Ok, but it must say warmedUp=false and
+    // report a zero measured window instead of warm-up-skewed numbers.
+    SimParams params = smallParams(ExceptMech::Traditional, 20000);
+    params.warmupInsts = 100000;
+    CoreResult result = runSimulation(params, {"compress"});
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result.warmedUp);
+    EXPECT_EQ(result.measuredInsts, 0u);
+    EXPECT_EQ(result.measuredCycles, 0u);
+    EXPECT_EQ(result.measuredMisses, 0u);
+    EXPECT_EQ(result.ipc, 0.0);
+    EXPECT_GE(result.userInsts, 20000u); // the run itself did happen
 }
 
 
